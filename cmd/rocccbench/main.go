@@ -1,0 +1,95 @@
+// Command rocccbench regenerates the paper's evaluation: Table 1, the
+// §5 DCT throughput comparison, the §2 area-estimation claim, and the
+// structural figures (Fig. 3, 4, 6, 7).
+//
+// Usage:
+//
+//	rocccbench [-figures] [-estimation] [-throughput] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roccc/internal/exp"
+)
+
+func main() {
+	var (
+		figures    = flag.Bool("figures", false, "print the figure reproductions")
+		estimation = flag.Bool("estimation", false, "print the area-estimation experiment")
+		throughput = flag.Bool("throughput", false, "print the DCT throughput experiment")
+		all        = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+
+	rows, err := exp.Table1()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(exp.FormatTable1(rows, true))
+
+	if *throughput || *all {
+		t, err := exp.DCTThroughput()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== §5 DCT throughput ==")
+		fmt.Printf("Xilinx IP: %.0f MHz x %.0f output/cycle = %.0f Msamples/s\n",
+			t.IPClockMHz, t.IPOutsPerCycle, t.IPMsps)
+		fmt.Printf("ROCCC:     %.0f MHz x %.0f output/cycle = %.0f Msamples/s\n",
+			t.RocccClockMHz, t.RocccOutsPerCycle, t.RocccMsps)
+		fmt.Printf("overall throughput ratio: %.2fx (paper: higher despite 0.735x clock)\n\n", t.Speedup)
+	}
+	if *estimation || *all {
+		est, err := exp.AreaEstimation()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatEstimation(est))
+		fmt.Println()
+	}
+	if *all {
+		sp, err := exp.Speedups()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatSpeedups(sp))
+		fmt.Println()
+	}
+	if *all {
+		ab, err := exp.FormatAblations()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ab)
+	}
+	if *figures || *all {
+		f3, err := exp.Fig3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f3.Text)
+		f4, err := exp.Fig4()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f4.Text)
+		f6, _, err := exp.Fig6()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f6.Text)
+		f7, _, err := exp.Fig7()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f7.Text)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rocccbench:", err)
+	os.Exit(1)
+}

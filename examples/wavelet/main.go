@@ -1,0 +1,67 @@
+// Wavelet: the paper's largest design — the 2-D (5,3) wavelet engine of
+// Table 1's last row ("the standard lossless JPEG2000 compression
+// transform"), with address generators, a 2-D smart buffer and a wide
+// data path producing four subband samples per iteration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"roccc"
+	"roccc/internal/bench"
+)
+
+func main() {
+	k := bench.Wavelet()
+	res, err := k.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Datapath.Summary())
+	w := res.Kernel.Reads[0]
+	lo0, e0 := w.Span(0)
+	lo1, e1 := w.Span(1)
+	fmt.Printf("window: %dx%d over a %dx%d image, stride 2x2, %d taps\n",
+		e0, e1, w.Arr.Dims[0], w.Arr.Dims[1], len(w.Elems))
+	_ = lo0
+	_ = lo1
+
+	cfg, err := roccc.BufferConfig(res, 0, k.BusElems)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-D smart buffer: %d bits (line buffers + window)\n\n", cfg.StorageBits())
+
+	sys, err := roccc.NewSystem(res, roccc.SystemConfig{BusElems: k.BusElems})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	in := make([]int64, 32*32)
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	if err := sys.LoadInput("img", in); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposed a 32x32 image into 4 subbands (%d samples each) in %d cycles\n",
+		14*14, sys.Cycles())
+	for _, name := range []string{"LL", "LH", "HL", "HH"} {
+		out, err := sys.Output(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var energy int64
+		for _, v := range out {
+			energy += v * v
+		}
+		fmt.Printf("  %s energy: %d\n", name, energy)
+	}
+	fmt.Println("\nsynthesis:")
+	fmt.Println(roccc.Synthesize(res, k.BusElems))
+}

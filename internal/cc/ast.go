@@ -1,0 +1,258 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// File is a parsed translation unit: global declarations and functions.
+type File struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function named name, or nil.
+func (f *File) Func(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Global returns the global declaration named name, or nil.
+func (f *File) Global(name string) *VarDecl {
+	for _, g := range f.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// VarDecl declares a scalar or array variable. Globals with IsConst and
+// an initializer list describe ROM contents (compiled to lookup tables).
+type VarDecl struct {
+	Name    string
+	Type    Type
+	IsConst bool
+	Init    Expr    // scalar initializer, or nil
+	InitArr []int64 // flattened array initializer, or nil
+	Pos     Pos
+}
+
+// Param is a function parameter. Pointer-typed parameters are outputs.
+type Param struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// IsOutput reports whether the parameter is a pointer output parameter.
+func (p Param) IsOutput() bool {
+	_, ok := p.Type.(PointerType)
+	return ok
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+	Pos    Pos
+}
+
+// --- Statements ---
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface {
+	stmt()
+	StmtPos() Pos
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// LocalDecl declares a function-local scalar with an optional initializer.
+type LocalDecl struct {
+	Name string
+	Type Type
+	Init Expr // or nil
+	Pos  Pos
+}
+
+// Assign is an assignment statement. Op is ASSIGN for plain "=", or a
+// compound kind (PLUSEQ etc.) already noted by the parser; the semantic
+// pass rewrites compound forms into plain assignments.
+type Assign struct {
+	LHS Expr
+	Op  Kind
+	RHS Expr
+	Pos Pos
+}
+
+// If is an if or if/else statement.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // or nil
+	Pos  Pos
+}
+
+// For is a for loop. Init and Post are assignments (or nil); Cond is the
+// continuation test (or nil for an unconditional loop, which the subset
+// rejects during semantic analysis).
+type For struct {
+	Init *Assign
+	Cond Expr
+	Post *Assign
+	Body *Block
+	Pos  Pos
+}
+
+// Return is a return statement with an optional value.
+type Return struct {
+	Value Expr // or nil
+	Pos   Pos
+}
+
+// ExprStmt is an expression evaluated for effect (an intrinsic call).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Block) stmt()     {}
+func (*LocalDecl) stmt() {}
+func (*Assign) stmt()    {}
+func (*If) stmt()        {}
+func (*For) stmt()       {}
+func (*Return) stmt()    {}
+func (*ExprStmt) stmt()  {}
+
+// StmtPos returns the statement's source position.
+func (s *Block) StmtPos() Pos     { return s.Pos }
+func (s *LocalDecl) StmtPos() Pos { return s.Pos }
+func (s *Assign) StmtPos() Pos    { return s.Pos }
+func (s *If) StmtPos() Pos        { return s.Pos }
+func (s *For) StmtPos() Pos       { return s.Pos }
+func (s *Return) StmtPos() Pos    { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos  { return s.Pos }
+
+// --- Expressions ---
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	expr()
+	ExprPos() Pos
+}
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Val int64
+	Pos Pos
+}
+
+// Ident is a reference to a named variable or parameter.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Index is a 1-D or 2-D array access.
+type Index struct {
+	Base *Ident
+	Idx  []Expr // length 1 or 2
+	Pos  Pos
+}
+
+// Deref is a pointer dereference (*p); legal only on output parameters.
+type Deref struct {
+	X   *Ident
+	Pos Pos
+}
+
+// Unary is a unary operation: MINUS, TILDE or BANG.
+type Unary struct {
+	Op  Kind
+	X   Expr
+	Pos Pos
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   Kind
+	X, Y Expr
+	Pos  Pos
+}
+
+// CondExpr is the ternary conditional c ? t : f.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+}
+
+// Call is a function or intrinsic call.
+type Call struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*NumberLit) expr() {}
+func (*Ident) expr()     {}
+func (*Index) expr()     {}
+func (*Deref) expr()     {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*CondExpr) expr()  {}
+func (*Call) expr()      {}
+
+// ExprPos returns the expression's source position.
+func (e *NumberLit) ExprPos() Pos { return e.Pos }
+func (e *Ident) ExprPos() Pos     { return e.Pos }
+func (e *Index) ExprPos() Pos     { return e.Pos }
+func (e *Deref) ExprPos() Pos     { return e.Pos }
+func (e *Unary) ExprPos() Pos     { return e.Pos }
+func (e *Binary) ExprPos() Pos    { return e.Pos }
+func (e *CondExpr) ExprPos() Pos  { return e.Pos }
+func (e *Call) ExprPos() Pos      { return e.Pos }
+
+// FormatExpr renders an expression as C-like source, used in diagnostics
+// and golden tests.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *NumberLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *Ident:
+		return e.Name
+	case *Index:
+		var b strings.Builder
+		b.WriteString(e.Base.Name)
+		for _, ix := range e.Idx {
+			fmt.Fprintf(&b, "[%s]", FormatExpr(ix))
+		}
+		return b.String()
+	case *Deref:
+		return "*" + e.X.Name
+	case *Unary:
+		return e.Op.String() + FormatExpr(e.X)
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(e.X), e.Op, FormatExpr(e.Y))
+	case *CondExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", FormatExpr(e.Cond), FormatExpr(e.Then), FormatExpr(e.Else))
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	default:
+		return fmt.Sprintf("<?expr %T>", e)
+	}
+}

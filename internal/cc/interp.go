@@ -1,0 +1,494 @@
+package cc
+
+import (
+	"fmt"
+)
+
+// Interp executes analyzed C functions directly. It is the reference
+// ("software") semantics: the paper notes that the soft nodes of a
+// generated data path must behave exactly as the original C does on a
+// CPU, so every generated circuit in this reproduction is checked
+// against this interpreter.
+type Interp struct {
+	info    *Info
+	Globals map[string]int64   // scalar globals by name
+	Arrays  map[string][]int64 // flattened array storage by name
+	steps   int
+	maxStep int
+}
+
+// NewInterp prepares an interpreter over the analyzed file. Global
+// scalars and arrays are initialized from their declarations (zero
+// otherwise).
+func NewInterp(info *Info) *Interp {
+	ip := &Interp{
+		info:    info,
+		Globals: map[string]int64{},
+		Arrays:  map[string][]int64{},
+		maxStep: 50_000_000,
+	}
+	for _, g := range info.File.Globals {
+		switch t := g.Type.(type) {
+		case IntType:
+			var v int64
+			if lit, ok := g.Init.(*NumberLit); ok {
+				v = t.Wrap(lit.Val)
+			}
+			ip.Globals[g.Name] = v
+		case ArrayType:
+			n := t.Dims[0]
+			if len(t.Dims) == 2 {
+				n *= t.Dims[1]
+			}
+			arr := make([]int64, n)
+			for i, v := range g.InitArr {
+				arr[i] = t.Elem.Wrap(v)
+			}
+			ip.Arrays[g.Name] = arr
+		}
+	}
+	return ip
+}
+
+// SetArray installs array contents (used to provide input data).
+func (ip *Interp) SetArray(name string, vals []int64) {
+	arr := make([]int64, len(vals))
+	copy(arr, vals)
+	ip.Arrays[name] = arr
+}
+
+type interpFrame struct {
+	vars   map[string]int64
+	arrays map[string][]int64 // array params aliased to backing storage
+	outs   map[string]int64   // values written through out-params
+	fn     *FuncDecl
+	ret    int64
+	hasRet bool
+}
+
+type returnSignal struct{}
+
+// Call runs function name with the given scalar arguments (in parameter
+// order, skipping array parameters, which are taken from ip.Arrays by
+// name). It returns the function result (if non-void) followed by the
+// out-parameter values in declaration order.
+func (ip *Interp) Call(name string, args ...int64) (ret int64, outs []int64, err error) {
+	fn, ok := ip.info.Funcs[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("cc: interp: no function %q", name)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(returnSignal); ok {
+				return
+			}
+			err = fmt.Errorf("cc: interp: %v", r)
+		}
+	}()
+	fr, err := ip.newFrame(fn, args)
+	if err != nil {
+		return 0, nil, err
+	}
+	ip.steps = 0
+	if err := ip.execBlock(fn.Body, fr); err != nil && err != errReturn {
+		return 0, nil, err
+	}
+	for _, prm := range fn.Params {
+		if prm.IsOutput() {
+			outs = append(outs, fr.outs[prm.Name])
+		}
+	}
+	return fr.ret, outs, nil
+}
+
+func (ip *Interp) newFrame(fn *FuncDecl, args []int64) (*interpFrame, error) {
+	fr := &interpFrame{
+		vars:   map[string]int64{},
+		arrays: map[string][]int64{},
+		outs:   map[string]int64{},
+		fn:     fn,
+	}
+	ai := 0
+	for _, prm := range fn.Params {
+		switch t := prm.Type.(type) {
+		case IntType:
+			if ai >= len(args) {
+				return nil, fmt.Errorf("cc: interp: too few arguments to %q", fn.Name)
+			}
+			fr.vars[prm.Name] = t.Wrap(args[ai])
+			ai++
+		case ArrayType:
+			arr, ok := ip.Arrays[prm.Name]
+			if !ok {
+				n := t.Dims[0]
+				if len(t.Dims) == 2 {
+					n *= t.Dims[1]
+				}
+				arr = make([]int64, n)
+				ip.Arrays[prm.Name] = arr
+			}
+			fr.arrays[prm.Name] = arr
+		case PointerType:
+			fr.outs[prm.Name] = 0
+		}
+	}
+	if ai != len(args) {
+		return nil, fmt.Errorf("cc: interp: too many arguments to %q", fn.Name)
+	}
+	return fr, nil
+}
+
+func (ip *Interp) step() error {
+	ip.steps++
+	if ip.steps > ip.maxStep {
+		return fmt.Errorf("cc: interp: step limit exceeded (runaway loop?)")
+	}
+	return nil
+}
+
+func (ip *Interp) execBlock(b *Block, fr *interpFrame) error {
+	for _, s := range b.Stmts {
+		done, err := ip.execStmt(s, fr)
+		if err != nil {
+			return err
+		}
+		if done {
+			return errReturn
+		}
+	}
+	return nil
+}
+
+// errReturn is an internal sentinel propagated when a return executes.
+var errReturn = fmt.Errorf("cc: interp: return")
+
+func (ip *Interp) execStmt(s Stmt, fr *interpFrame) (returned bool, err error) {
+	if err := ip.step(); err != nil {
+		return false, err
+	}
+	switch s := s.(type) {
+	case *Block:
+		err := ip.execBlock(s, fr)
+		if err == errReturn {
+			return true, nil
+		}
+		return false, err
+	case *LocalDecl:
+		v := int64(0)
+		if s.Init != nil {
+			v, err = ip.eval(s.Init, fr)
+			if err != nil {
+				return false, err
+			}
+		}
+		fr.vars[s.Name] = s.Type.(IntType).Wrap(v)
+		return false, nil
+	case *Assign:
+		v, err := ip.eval(s.RHS, fr)
+		if err != nil {
+			return false, err
+		}
+		return false, ip.store(s.LHS, v, fr)
+	case *If:
+		c, err := ip.eval(s.Cond, fr)
+		if err != nil {
+			return false, err
+		}
+		if c != 0 {
+			err := ip.execBlock(s.Then, fr)
+			if err == errReturn {
+				return true, nil
+			}
+			return false, err
+		}
+		if s.Else != nil {
+			err := ip.execBlock(s.Else, fr)
+			if err == errReturn {
+				return true, nil
+			}
+			return false, err
+		}
+		return false, nil
+	case *For:
+		if s.Init != nil {
+			if _, err := ip.execStmt(s.Init, fr); err != nil {
+				return false, err
+			}
+		}
+		for {
+			if err := ip.step(); err != nil {
+				return false, err
+			}
+			if s.Cond != nil {
+				c, err := ip.eval(s.Cond, fr)
+				if err != nil {
+					return false, err
+				}
+				if c == 0 {
+					return false, nil
+				}
+			}
+			err := ip.execBlock(s.Body, fr)
+			if err == errReturn {
+				return true, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			if s.Post != nil {
+				if _, err := ip.execStmt(s.Post, fr); err != nil {
+					return false, err
+				}
+			}
+		}
+	case *Return:
+		if s.Value != nil {
+			v, err := ip.eval(s.Value, fr)
+			if err != nil {
+				return false, err
+			}
+			if rt, ok := fr.fn.Ret.(IntType); ok {
+				v = rt.Wrap(v)
+			}
+			fr.ret = v
+			fr.hasRet = true
+		}
+		return true, nil
+	case *ExprStmt:
+		_, err := ip.eval(s.X, fr)
+		return false, err
+	default:
+		return false, fmt.Errorf("cc: interp: unexpected statement %T", s)
+	}
+}
+
+func (ip *Interp) store(lhs Expr, v int64, fr *interpFrame) error {
+	switch lhs := lhs.(type) {
+	case *Ident:
+		sym := ip.info.SymbolOf(lhs)
+		if sym == nil {
+			return fmt.Errorf("cc: interp: unresolved %q", lhs.Name)
+		}
+		t := sym.Elem()
+		switch sym.Kind {
+		case SymGlobal:
+			ip.Globals[lhs.Name] = t.Wrap(v)
+		default:
+			fr.vars[lhs.Name] = t.Wrap(v)
+		}
+		return nil
+	case *Index:
+		arr, at, off, err := ip.arrayAt(lhs, fr)
+		if err != nil {
+			return err
+		}
+		arr[off] = at.Elem.Wrap(v)
+		return nil
+	case *Deref:
+		sym := ip.info.SymbolOf(lhs)
+		fr.outs[sym.Name] = sym.Elem().Wrap(v)
+		return nil
+	default:
+		return fmt.Errorf("cc: interp: bad store target %T", lhs)
+	}
+}
+
+func (ip *Interp) arrayAt(e *Index, fr *interpFrame) ([]int64, ArrayType, int, error) {
+	sym := ip.info.SymbolOf(e)
+	if sym == nil {
+		return nil, ArrayType{}, 0, fmt.Errorf("cc: interp: unresolved array %q", e.Base.Name)
+	}
+	at := sym.Type.(ArrayType)
+	arr, ok := fr.arrays[e.Base.Name]
+	if !ok {
+		arr, ok = ip.Arrays[e.Base.Name]
+		if !ok {
+			return nil, at, 0, fmt.Errorf("cc: interp: no storage for array %q", e.Base.Name)
+		}
+	}
+	off := 0
+	for d, ix := range e.Idx {
+		v, err := ip.eval(ix, fr)
+		if err != nil {
+			return nil, at, 0, err
+		}
+		if d == 0 && len(e.Idx) == 2 {
+			off = int(v) * at.Dims[1]
+		} else {
+			off += int(v)
+		}
+	}
+	if off < 0 || off >= len(arr) {
+		return nil, at, 0, fmt.Errorf("cc: interp: index %d out of range for %q (len %d)",
+			off, e.Base.Name, len(arr))
+	}
+	return arr, at, off, nil
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (ip *Interp) eval(e Expr, fr *interpFrame) (int64, error) {
+	if err := ip.step(); err != nil {
+		return 0, err
+	}
+	switch e := e.(type) {
+	case *NumberLit:
+		return e.Val, nil
+	case *Ident:
+		sym := ip.info.SymbolOf(e)
+		if sym == nil {
+			return 0, fmt.Errorf("cc: interp: unresolved %q", e.Name)
+		}
+		if sym.Kind == SymGlobal {
+			return ip.Globals[e.Name], nil
+		}
+		v, ok := fr.vars[e.Name]
+		if !ok {
+			return 0, nil // uninitialized local reads as zero
+		}
+		return v, nil
+	case *Index:
+		arr, _, off, err := ip.arrayAt(e, fr)
+		if err != nil {
+			return 0, err
+		}
+		return arr[off], nil
+	case *Deref:
+		sym := ip.info.SymbolOf(e)
+		return fr.outs[sym.Name], nil
+	case *Unary:
+		x, err := ip.eval(e.X, fr)
+		if err != nil {
+			return 0, err
+		}
+		t := ip.info.IntTypeOf(e)
+		switch e.Op {
+		case MINUS:
+			return t.Wrap(-x), nil
+		case TILDE:
+			return t.Wrap(^x), nil
+		case BANG:
+			return boolToInt(x == 0), nil
+		}
+		return 0, fmt.Errorf("cc: interp: unary %s", e.Op)
+	case *Binary:
+		x, err := ip.eval(e.X, fr)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit forms evaluate both sides in hardware; software
+		// semantics differ only via side effects, which the subset bans,
+		// so full evaluation is safe.
+		y, err := ip.eval(e.Y, fr)
+		if err != nil {
+			return 0, err
+		}
+		t := ip.info.IntTypeOf(e)
+		xt := ip.info.IntTypeOf(e.X)
+		switch e.Op {
+		case PLUS:
+			return t.Wrap(x + y), nil
+		case MINUS:
+			return t.Wrap(x - y), nil
+		case STAR:
+			return t.Wrap(x * y), nil
+		case SLASH:
+			if y == 0 {
+				return 0, fmt.Errorf("cc: interp: division by zero")
+			}
+			return t.Wrap(x / y), nil
+		case PERCENT:
+			if y == 0 {
+				return 0, fmt.Errorf("cc: interp: modulo by zero")
+			}
+			return t.Wrap(x % y), nil
+		case AMP:
+			return t.Wrap(x & y), nil
+		case PIPE:
+			return t.Wrap(x | y), nil
+		case CARET:
+			return t.Wrap(x ^ y), nil
+		case SHL:
+			return t.Wrap(x << uint(y&63)), nil
+		case SHR:
+			if !xt.Signed {
+				ux := uint64(x) & (uint64(1)<<uint(xt.Bits) - 1)
+				return t.Wrap(int64(ux >> uint(y&63))), nil
+			}
+			return t.Wrap(x >> uint(y&63)), nil
+		case LT:
+			return boolToInt(x < y), nil
+		case LE:
+			return boolToInt(x <= y), nil
+		case GT:
+			return boolToInt(x > y), nil
+		case GE:
+			return boolToInt(x >= y), nil
+		case EQ:
+			return boolToInt(x == y), nil
+		case NE:
+			return boolToInt(x != y), nil
+		case LAND:
+			return boolToInt(x != 0 && y != 0), nil
+		case LOR:
+			return boolToInt(x != 0 || y != 0), nil
+		}
+		return 0, fmt.Errorf("cc: interp: binary %s", e.Op)
+	case *CondExpr:
+		c, err := ip.eval(e.Cond, fr)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return ip.eval(e.Then, fr)
+		}
+		return ip.eval(e.Else, fr)
+	case *Call:
+		return ip.evalCall(e, fr)
+	default:
+		return 0, fmt.Errorf("cc: interp: unexpected expression %T", e)
+	}
+}
+
+func (ip *Interp) evalCall(e *Call, fr *interpFrame) (int64, error) {
+	if t, ok := IsCastIntrinsic(e.Name); ok {
+		v, err := ip.eval(e.Args[0], fr)
+		if err != nil {
+			return 0, err
+		}
+		return t.Wrap(v), nil
+	}
+	switch e.Name {
+	case IntrinsicLoadPrev:
+		// In software the feedback load is just a read of the variable.
+		return ip.eval(e.Args[0], fr)
+	case IntrinsicStoreNext:
+		v, err := ip.eval(e.Args[1], fr)
+		if err != nil {
+			return 0, err
+		}
+		return 0, ip.store(e.Args[0], v, fr)
+	}
+	callee := ip.info.Funcs[e.Name]
+	args := make([]int64, 0, len(e.Args))
+	for _, a := range e.Args {
+		v, err := ip.eval(a, fr)
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, v)
+	}
+	sub, err := ip.newFrame(callee, args)
+	if err != nil {
+		return 0, err
+	}
+	if err := ip.execBlock(callee.Body, sub); err != nil && err != errReturn {
+		return 0, err
+	}
+	return sub.ret, nil
+}

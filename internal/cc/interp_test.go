@@ -1,0 +1,298 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpFIR(t *testing.T) {
+	info := mustAnalyze(t, firSource)
+	ip := NewInterp(info)
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = int64(i + 1)
+	}
+	ip.SetArray("A", in)
+	if _, _, err := ip.Call("fir"); err != nil {
+		t.Fatal(err)
+	}
+	out := ip.Arrays["C"]
+	for i := 0; i < 17; i++ {
+		want := 3*in[i] + 5*in[i+1] + 7*in[i+2] + 9*in[i+3] - in[i+4]
+		if out[i] != want {
+			t.Errorf("C[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestInterpAccumulator(t *testing.T) {
+	info := mustAnalyze(t, accumSource)
+	ip := NewInterp(info)
+	in := make([]int64, 32)
+	var want int64
+	for i := range in {
+		in[i] = int64(3*i - 7)
+		want += in[i]
+	}
+	ip.SetArray("A", in)
+	if _, _, err := ip.Call("accum"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.Globals["sum"]; got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestInterpIfElse(t *testing.T) {
+	info := mustAnalyze(t, ifElseSource)
+	ip := NewInterp(info)
+	check := func(x1, x2 int64) {
+		_, outs, err := ip.Call("if_else", x1, x2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := x1 - x2
+		var a int64
+		if c < x2 {
+			a = x1 * x1
+		} else {
+			a = x1*x2 + 3
+		}
+		c = c - a
+		if outs[0] != Int32.Wrap(c) || outs[1] != Int32.Wrap(a) {
+			t.Errorf("if_else(%d,%d) = (%d,%d), want (%d,%d)", x1, x2, outs[0], outs[1], c, a)
+		}
+	}
+	check(10, 3)
+	check(3, 10)
+	check(-5, -5)
+	check(0, 0)
+}
+
+func TestInterpIfElseQuick(t *testing.T) {
+	info := mustAnalyze(t, ifElseSource)
+	ip := NewInterp(info)
+	f := func(x1, x2 int16) bool {
+		_, outs, err := ip.Call("if_else", int64(x1), int64(x2))
+		if err != nil {
+			return false
+		}
+		c := int64(x1) - int64(x2)
+		var a int64
+		if c < int64(x2) {
+			a = int64(x1) * int64(x1)
+		} else {
+			a = int64(x1)*int64(x2) + 3
+		}
+		c = Int32.Wrap(c - a)
+		return outs[0] == c && outs[1] == Int32.Wrap(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpWrapping(t *testing.T) {
+	src := `void f(uint8 a, uint8 b, uint8* o) { *o = a + b; }`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	_, outs, err := ip.Call("f", 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != (200+100)%256 {
+		t.Errorf("uint8 wrap: got %d, want %d", outs[0], (200+100)%256)
+	}
+}
+
+func TestInterpSignedWrap(t *testing.T) {
+	src := `void f(int8 a, int8* o) { *o = a + 1; }`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	_, outs, err := ip.Call("f", 127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != -128 {
+		t.Errorf("int8 127+1 = %d, want -128", outs[0])
+	}
+}
+
+func TestInterpUnsignedShiftRight(t *testing.T) {
+	src := `void f(uint8 a, uint8* o) { *o = a >> 1; }`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	_, outs, err := ip.Call("f", 0x80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 0x40 {
+		t.Errorf("0x80 >> 1 = %#x, want 0x40", outs[0])
+	}
+}
+
+func TestInterpDivMod(t *testing.T) {
+	src := `void f(int a, int b, int* q, int* r) { *q = a / b; *r = a % b; }`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	_, outs, err := ip.Call("f", 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 3 || outs[1] != 2 {
+		t.Errorf("17/5 = %d rem %d", outs[0], outs[1])
+	}
+	if _, _, err := ip.Call("f", 17, 0); err == nil {
+		t.Error("division by zero not reported")
+	}
+}
+
+func TestInterpTernaryAndLogic(t *testing.T) {
+	src := `void f(int a, int b, int* o) { *o = (a > b && a > 0) ? a : b; }`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	_, outs, _ := ip.Call("f", 5, 3)
+	if outs[0] != 5 {
+		t.Errorf("got %d", outs[0])
+	}
+	_, outs, _ = ip.Call("f", -5, 3)
+	if outs[0] != 3 {
+		t.Errorf("got %d", outs[0])
+	}
+}
+
+func TestInterpNestedLoops2D(t *testing.T) {
+	src := `
+int img[4][4];
+int out[4][4];
+void f() {
+	int i; int j;
+	for (i = 0; i < 4; i++)
+		for (j = 0; j < 4; j++)
+			out[i][j] = img[i][j] * 2 + i;
+}
+`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	in := make([]int64, 16)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	ip.SetArray("img", in)
+	if _, _, err := ip.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := in[i*4+j]*2 + int64(i)
+			if got := ip.Arrays["out"][i*4+j]; got != want {
+				t.Errorf("out[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestInterpFunctionCall(t *testing.T) {
+	src := `
+int sq(int x) { return x * x; }
+void f(int a, int* o) { *o = sq(a) + sq(a + 1); }
+`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	_, outs, err := ip.Call("f", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 9+16 {
+		t.Errorf("got %d, want 25", outs[0])
+	}
+}
+
+func TestInterpConstArrayLookup(t *testing.T) {
+	src := `
+const int tab[4] = {10, 20, 30, 40};
+void f(uint2 i, int* o) { *o = tab[i]; }
+`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	for i := int64(0); i < 4; i++ {
+		_, outs, err := ip.Call("f", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[0] != (i+1)*10 {
+			t.Errorf("tab[%d] = %d", i, outs[0])
+		}
+	}
+}
+
+func TestInterpCast(t *testing.T) {
+	src := `void f(int a, int* o) { *o = (unsigned char)a; }`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	_, outs, err := ip.Call("f", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 300%256 {
+		t.Errorf("(uint8)300 = %d", outs[0])
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	src := `void f() { int i; i = 0; while (i < 10) { i = i; } }`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	ip.maxStep = 10000
+	if _, _, err := ip.Call("f"); err == nil {
+		t.Error("runaway loop not detected")
+	}
+}
+
+func TestInterpFeedbackIntrinsics(t *testing.T) {
+	// Fig. 4(c): the data-path function with explicit feedback macros
+	// behaves, in software, exactly like the plain accumulator body.
+	src := `
+int sum;
+void main_dp(int t0, int* t1) {
+	int t2;
+	t2 = ROCCC_load_prev(sum) + t0;
+	ROCCC_store2next(sum, t2);
+	*t1 = sum;
+}
+`
+	info := mustAnalyze(t, src)
+	ip := NewInterp(info)
+	var want int64
+	for i := int64(1); i <= 5; i++ {
+		_, outs, err := ip.Call("main_dp", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += i
+		if outs[0] != want {
+			t.Errorf("iteration %d: out = %d, want %d", i, outs[0], want)
+		}
+	}
+}
+
+func TestWrapProperties(t *testing.T) {
+	f := func(v int64, bits uint8) bool {
+		b := int(bits%32) + 1
+		ts := IntType{Bits: b, Signed: true}
+		tu := IntType{Bits: b, Signed: false}
+		sv := ts.Wrap(v)
+		uv := tu.Wrap(v)
+		if sv < ts.MinVal() || sv > ts.MaxVal() {
+			return false
+		}
+		if uv < 0 || uv > tu.MaxVal() {
+			return false
+		}
+		// Wrap must be idempotent.
+		return ts.Wrap(sv) == sv && tu.Wrap(uv) == uv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

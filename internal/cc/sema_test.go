@@ -1,0 +1,172 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustAnalyze(t *testing.T, src string) *Info {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Analyze(f)
+	if err == nil {
+		t.Fatalf("expected semantic error for:\n%s", src)
+	}
+	return err
+}
+
+func TestAnalyzeFIR(t *testing.T) {
+	info := mustAnalyze(t, firSource)
+	fn := info.File.Func("fir")
+	loop := fn.Body.Stmts[1].(*For)
+	assign := loop.Body.Stmts[0].(*Assign)
+	lhs := assign.LHS.(*Index)
+	if sym := info.SymbolOf(lhs); sym == nil || sym.Kind != SymArray {
+		t.Errorf("C resolved to %v", info.SymbolOf(lhs))
+	}
+	if tt := info.IntTypeOf(assign.RHS); tt.Bits != 32 {
+		t.Errorf("RHS type = %v", tt)
+	}
+}
+
+func TestAnalyzeTypePromotion(t *testing.T) {
+	src := `void f(uint8 a, int16 b, uint16 c, int* o1, int* o2, int* o3) {
+		*o1 = a + b;
+		*o2 = b + c;
+		*o3 = a < b;
+	}`
+	info := mustAnalyze(t, src)
+	body := info.File.Func("f").Body.Stmts
+	// C integer promotion: sub-int operands are promoted to int first.
+	t1 := info.IntTypeOf(body[0].(*Assign).RHS)
+	if t1 != Int32 {
+		t.Errorf("uint8+int16 = %v, want int32 (promoted)", t1)
+	}
+	t2 := info.IntTypeOf(body[1].(*Assign).RHS)
+	if t2 != Int32 {
+		t.Errorf("int16+uint16 = %v, want int32 (promoted)", t2)
+	}
+	t3 := info.IntTypeOf(body[2].(*Assign).RHS)
+	if t3 != UInt1 {
+		t.Errorf("comparison type = %v, want uint1", t3)
+	}
+	// uint32 mixed with int stays unsigned (usual arithmetic conversion).
+	src2 := `void g(unsigned int a, int b, int* o) { *o = a + b; }`
+	info2 := mustAnalyze(t, src2)
+	t4 := info2.IntTypeOf(info2.File.Func("g").Body.Stmts[0].(*Assign).RHS)
+	if t4 != UInt32 {
+		t.Errorf("uint32+int32 = %v, want uint32", t4)
+	}
+}
+
+func TestAnalyzeRejectsRecursion(t *testing.T) {
+	err := analyzeErr(t, `
+int f(int x) { return f(x - 1); }
+`)
+	if !strings.Contains(err.Error(), "recursion") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestAnalyzeRejectsMutualRecursion(t *testing.T) {
+	err := analyzeErr(t, `
+int g(int x);
+int f(int x) { return g(x); }
+int g(int x) { return f(x); }
+`)
+	_ = err
+}
+
+func TestAnalyzeRejectsBadPointerUse(t *testing.T) {
+	analyzeErr(t, `void f(int a, int* o) { *o = o; }`) // reading out-param as value name
+	analyzeErr(t, `void f(int a) { *a = 3; }`)         // deref of non-pointer
+	analyzeErr(t, `int x; void f() { *x = 1; }`)       // deref of global scalar
+}
+
+func TestAnalyzeOutParamReadable(t *testing.T) {
+	// Fig. 4(c) reads the fed-back variable after the store; reading an
+	// out-param after writing is used in the exported data-path function.
+	mustAnalyze(t, `void f(int a, int* o) { *o = a; }`)
+}
+
+func TestAnalyzeRejectsConstArrayStore(t *testing.T) {
+	err := analyzeErr(t, `
+const int tab[4] = {1, 2, 3, 4};
+void f(int i) { tab[i] = 0; }
+`)
+	if !strings.Contains(err.Error(), "const") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestAnalyzeRejectsUndeclared(t *testing.T) {
+	analyzeErr(t, `void f() { x = 1; }`)
+	analyzeErr(t, `void f() { int y; y = x; }`)
+	analyzeErr(t, `void f() { y[3] = 1; }`)
+}
+
+func TestAnalyzeRejectsDimensionMismatch(t *testing.T) {
+	analyzeErr(t, `int A[4][4]; void f(int i) { A[i] = 1; }`)
+	analyzeErr(t, `int A[4]; void f(int i) { A[i][i] = 1; }`)
+}
+
+func TestAnalyzeRejectsRedeclaration(t *testing.T) {
+	analyzeErr(t, `void f() { int a; int a; }`)
+	analyzeErr(t, `int g; int g; void f() {}`)
+}
+
+func TestAnalyzeScoping(t *testing.T) {
+	// Block scoping: inner redeclaration in a nested block is legal C.
+	mustAnalyze(t, `void f() { int a; a = 1; { int b; b = a; } }`)
+}
+
+func TestAnalyzeConstArrayNeedsInit(t *testing.T) {
+	analyzeErr(t, `const int tab[4]; void f() {}`)
+}
+
+func TestAnalyzeIntrinsics(t *testing.T) {
+	info := mustAnalyze(t, `
+int sum;
+void main_dp(int t0, int* t1) {
+	int t2;
+	t2 = ROCCC_load_prev(sum) + t0;
+	ROCCC_store2next(sum, t2);
+	*t1 = sum;
+}
+`)
+	fn := info.File.Func("main_dp")
+	call := fn.Body.Stmts[1].(*Assign).RHS.(*Binary).X.(*Call)
+	if tt := info.IntTypeOf(call); tt.Bits != 32 {
+		t.Errorf("load_prev type = %v", tt)
+	}
+}
+
+func TestAnalyzeCallArity(t *testing.T) {
+	analyzeErr(t, `int g(int a, int b) { return a + b; } void f(int x) { int y; y = g(x); }`)
+	analyzeErr(t, `void f() { h(); }`)
+	analyzeErr(t, `void f() { ROCCC_load_prev(); }`)
+	analyzeErr(t, `int s; void f() { ROCCC_store2next(s); }`)
+}
+
+func TestAnalyzeReturnChecks(t *testing.T) {
+	analyzeErr(t, `void f() { return 3; }`)
+	analyzeErr(t, `int f() { return; }`)
+	mustAnalyze(t, `int f() { return 3; }`)
+	mustAnalyze(t, `void f() { return; }`)
+}

@@ -1,0 +1,136 @@
+// Package cc implements the restricted-C front end of the ROCCC
+// reproduction: a lexer, a recursive-descent parser and a semantic
+// analyzer for the C subset the DATE'05 paper accepts (no recursion, no
+// pointers except as multiple-return-value markers, integer types up to
+// 32 bits, constant-bound for loops, 1-D and 2-D arrays).
+package cc
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Keyword kinds follow the punctuation block.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	SEMI     // ;
+	COMMA    // ,
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	TILDE    // ~
+	BANG     // !
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	EQ       // ==
+	NE       // !=
+	SHL      // <<
+	SHR      // >>
+	LAND     // &&
+	LOR      // ||
+	QUEST    // ?
+	COLON    // :
+	INC      // ++
+	DEC      // --
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+	STAREQ   // *=
+	SLASHEQ  // /=
+	SHLEQ    // <<=
+	SHREQ    // >>=
+	AMPEQ    // &=
+	PIPEEQ   // |=
+	CARETEQ  // ^=
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwShort
+	KwLong
+	KwUnsigned
+	KwSigned
+	KwVoid
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwReturn
+	KwConst
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", SEMI: ";", COMMA: ",",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	PERCENT: "%", AMP: "&", PIPE: "|", CARET: "^", TILDE: "~",
+	BANG: "!", LT: "<", GT: ">", LE: "<=", GE: ">=", EQ: "==",
+	NE: "!=", SHL: "<<", SHR: ">>", LAND: "&&", LOR: "||",
+	QUEST: "?", COLON: ":", INC: "++", DEC: "--",
+	PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	SHLEQ: "<<=", SHREQ: ">>=", AMPEQ: "&=", PIPEEQ: "|=", CARETEQ: "^=",
+	KwInt: "int", KwChar: "char", KwShort: "short", KwLong: "long",
+	KwUnsigned: "unsigned", KwSigned: "signed", KwVoid: "void",
+	KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while",
+	KwReturn: "return", KwConst: "const",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "short": KwShort, "long": KwLong,
+	"unsigned": KwUnsigned, "signed": KwSigned, "void": KwVoid,
+	"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"return": KwReturn, "const": KwConst,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64 // value for NUMBER tokens
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,133 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type is the interface implemented by all front-end types. The ROCCC
+// subset has integer scalars up to 32 bits (signed and unsigned), void,
+// one- and two-dimensional integer arrays, and pointers to scalars that
+// may appear only as function output parameters.
+type Type interface {
+	String() string
+	typ()
+}
+
+// IntType is a sized integer type. The paper supports "any signed and
+// unsigned integer type up to 32 bit"; the parser accepts the standard C
+// type names plus the explicit-width spellings intN/uintN (1 <= N <= 32).
+type IntType struct {
+	Bits   int
+	Signed bool
+}
+
+func (t IntType) typ() {}
+
+// String renders the type using the explicit-width spelling.
+func (t IntType) String() string {
+	if t.Signed {
+		return fmt.Sprintf("int%d", t.Bits)
+	}
+	return fmt.Sprintf("uint%d", t.Bits)
+}
+
+// VoidType is the type of functions with no return value.
+type VoidType struct{}
+
+func (VoidType) typ() {}
+
+// String returns "void".
+func (VoidType) String() string { return "void" }
+
+// ArrayType is a 1-D or 2-D integer array type.
+type ArrayType struct {
+	Elem IntType
+	Dims []int // length 1 or 2; each dimension is a compile-time constant
+}
+
+func (ArrayType) typ() {}
+
+// String renders the array type in C declaration order.
+func (t ArrayType) String() string {
+	var b strings.Builder
+	b.WriteString(t.Elem.String())
+	for _, d := range t.Dims {
+		fmt.Fprintf(&b, "[%d]", d)
+	}
+	return b.String()
+}
+
+// PointerType is a pointer to a scalar. The subset permits it only as a
+// function parameter marking an output value (see Fig. 5 of the paper:
+// "The pointers are only used to indicate multiple return values").
+type PointerType struct {
+	Elem IntType
+}
+
+func (PointerType) typ() {}
+
+// String renders the pointer type.
+func (t PointerType) String() string { return t.Elem.String() + "*" }
+
+// Standard C scalar widths used by the parser.
+var (
+	Int8   = IntType{Bits: 8, Signed: true}
+	Int16  = IntType{Bits: 16, Signed: true}
+	Int32  = IntType{Bits: 32, Signed: true}
+	UInt8  = IntType{Bits: 8, Signed: false}
+	UInt16 = IntType{Bits: 16, Signed: false}
+	UInt32 = IntType{Bits: 32, Signed: false}
+)
+
+// parseSizedTypeName recognizes intN/uintN spellings. It returns the type
+// and true when name is such a spelling with 1 <= N <= 32.
+func parseSizedTypeName(name string) (IntType, bool) {
+	signed := true
+	rest := ""
+	switch {
+	case strings.HasPrefix(name, "uint"):
+		signed = false
+		rest = name[4:]
+	case strings.HasPrefix(name, "int"):
+		rest = name[3:]
+	default:
+		return IntType{}, false
+	}
+	if rest == "" {
+		return IntType{}, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 || n > 32 {
+		return IntType{}, false
+	}
+	return IntType{Bits: n, Signed: signed}, true
+}
+
+// MaxVal returns the largest value representable by t.
+func (t IntType) MaxVal() int64 {
+	if t.Signed {
+		return (int64(1) << (t.Bits - 1)) - 1
+	}
+	return (int64(1) << t.Bits) - 1
+}
+
+// MinVal returns the smallest value representable by t.
+func (t IntType) MinVal() int64 {
+	if t.Signed {
+		return -(int64(1) << (t.Bits - 1))
+	}
+	return 0
+}
+
+// Wrap reduces v modulo 2^Bits and reinterprets it in t, mirroring the
+// two's-complement truncation hardware performs on a t-wide signal.
+func (t IntType) Wrap(v int64) int64 {
+	mask := uint64(1)<<uint(t.Bits) - 1
+	u := uint64(v) & mask
+	if t.Signed && t.Bits < 64 && u&(1<<uint(t.Bits-1)) != 0 {
+		return int64(u) - int64(1)<<uint(t.Bits)
+	}
+	return int64(u)
+}

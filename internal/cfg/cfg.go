@@ -1,0 +1,290 @@
+// Package cfg is the reproduction's Machine-SUIF Control Flow Graph
+// library analogue [14]: it groups a vm Routine's linear instruction
+// stream into basic blocks, builds the edge structure, and provides
+// dominator and traversal utilities used by SSA conversion and data-path
+// building.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"roccc/internal/vm"
+)
+
+// Block is a basic block: straight-line compute instructions plus an
+// optional conditional-branch condition at the end.
+type Block struct {
+	ID     int
+	Label  string // label the block starts at, if any
+	Instrs []*vm.Instr
+	Succs  []*Block
+	Preds  []*Block
+	// BranchCond holds the conditional branch instruction when the block
+	// ends in one; Succs[0] is the taken target, Succs[1] the fallthrough.
+	BranchCond *vm.Instr
+	// Phis holds SSA phi instructions once ssa.Convert has run; the i-th
+	// source of each phi corresponds to Preds[i].
+	Phis []*vm.Instr
+}
+
+// PredIndex returns the position of p in b.Preds, or -1.
+func (b *Block) PredIndex(p *Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsEmpty reports whether the block holds no compute instructions.
+func (b *Block) IsEmpty() bool { return len(b.Instrs) == 0 }
+
+// String renders the block header and instructions.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block %d", b.ID)
+	if b.Label != "" {
+		fmt.Fprintf(&sb, " (%s)", b.Label)
+	}
+	sb.WriteString(":\n")
+	for _, in := range b.Instrs {
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+	}
+	if b.BranchCond != nil {
+		fmt.Fprintf(&sb, "  branch on %s\n", b.BranchCond.Srcs[0])
+	}
+	var succs []string
+	for _, s := range b.Succs {
+		succs = append(succs, fmt.Sprintf("%d", s.ID))
+	}
+	fmt.Fprintf(&sb, "  -> [%s]\n", strings.Join(succs, " "))
+	return sb.String()
+}
+
+// Graph is a control flow graph over a vm routine.
+type Graph struct {
+	Routine *vm.Routine
+	Blocks  []*Block // Blocks[0] is the entry
+	Exit    *Block   // synthetic exit (holds no instructions)
+}
+
+// Entry returns the entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// Build groups rt's instructions into basic blocks and connects edges.
+func Build(rt *vm.Routine) (*Graph, error) {
+	g := &Graph{Routine: rt}
+	// Identify leaders: first instruction, label positions, and
+	// instructions following branches.
+	labels := map[string]int{}
+	leaders := map[int]bool{0: true}
+	for i, in := range rt.Instrs {
+		switch in.Op {
+		case vm.LAB:
+			labels[in.Label] = i
+			leaders[i] = true
+		case vm.JMP, vm.BTR, vm.BFL, vm.RET:
+			leaders[i+1] = true
+		}
+	}
+	// Carve blocks.
+	exit := &Block{ID: -1}
+	g.Exit = exit
+	blockAt := map[int]*Block{}
+	var order []int
+	var cur *Block
+	for i, in := range rt.Instrs {
+		if leaders[i] {
+			cur = &Block{ID: len(g.Blocks)}
+			g.Blocks = append(g.Blocks, cur)
+			blockAt[i] = cur
+			order = append(order, i)
+		}
+		switch in.Op {
+		case vm.LAB:
+			if cur.Label == "" && len(cur.Instrs) == 0 {
+				cur.Label = in.Label
+			}
+		case vm.NOP:
+		default:
+			cur.Instrs = append(cur.Instrs, in)
+		}
+	}
+	exit.ID = len(g.Blocks)
+	// Wire edges.
+	addEdge := func(from, to *Block) {
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	targetOf := func(label string) (*Block, error) {
+		ix, ok := labels[label]
+		if !ok {
+			return nil, fmt.Errorf("cfg: unknown label %q", label)
+		}
+		// The label instruction is a leader.
+		return blockAt[ix], nil
+	}
+	for bi, start := range order {
+		blk := blockAt[start]
+		// Find last instruction of the block in the original stream.
+		end := len(rt.Instrs)
+		if bi+1 < len(order) {
+			end = order[bi+1]
+		}
+		var last *vm.Instr
+		for i := end - 1; i >= start; i-- {
+			if rt.Instrs[i].Op != vm.LAB && rt.Instrs[i].Op != vm.NOP {
+				last = rt.Instrs[i]
+				break
+			}
+		}
+		fallthroughTo := func() *Block {
+			if bi+1 < len(order) {
+				return blockAt[order[bi+1]]
+			}
+			return exit
+		}
+		if last == nil {
+			addEdge(blk, fallthroughTo())
+			continue
+		}
+		switch last.Op {
+		case vm.JMP:
+			// JMP is control-only: drop it from Instrs.
+			blk.Instrs = blk.Instrs[:len(blk.Instrs)-1]
+			t, err := targetOf(last.Label)
+			if err != nil {
+				return nil, err
+			}
+			addEdge(blk, t)
+		case vm.BTR, vm.BFL:
+			blk.Instrs = blk.Instrs[:len(blk.Instrs)-1]
+			blk.BranchCond = last
+			t, err := targetOf(last.Label)
+			if err != nil {
+				return nil, err
+			}
+			// Succs[0] = taken, Succs[1] = fallthrough.
+			addEdge(blk, t)
+			addEdge(blk, fallthroughTo())
+		case vm.RET:
+			blk.Instrs = blk.Instrs[:len(blk.Instrs)-1]
+			addEdge(blk, exit)
+		default:
+			addEdge(blk, fallthroughTo())
+		}
+	}
+	return g, nil
+}
+
+// ReversePostOrder returns the blocks in reverse post-order from the
+// entry (the exit block is excluded).
+func (g *Graph) ReversePostOrder() []*Block {
+	seen := map[*Block]bool{g.Exit: true}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry())
+	rpo := make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	return rpo
+}
+
+// Dominators computes the immediate-dominator relation with the
+// Cooper–Harvey–Kennedy iterative algorithm. The entry block's idom is
+// itself.
+func (g *Graph) Dominators() map[*Block]*Block {
+	rpo := g.ReversePostOrder()
+	index := map[*Block]int{}
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := map[*Block]*Block{rpo[0]: rpo[0]}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// DominanceFrontier computes each block's dominance frontier.
+func (g *Graph) DominanceFrontier() map[*Block][]*Block {
+	idom := g.Dominators()
+	df := map[*Block][]*Block{}
+	inDF := map[*Block]map[*Block]bool{}
+	for _, b := range g.ReversePostOrder() {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			runner := p
+			for runner != idom[b] && runner != nil {
+				if inDF[runner] == nil {
+					inDF[runner] = map[*Block]bool{}
+				}
+				if !inDF[runner][b] {
+					inDF[runner][b] = true
+					df[runner] = append(df[runner], b)
+				}
+				next, ok := idom[runner]
+				if !ok || next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}
+
+// String renders the whole graph.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}

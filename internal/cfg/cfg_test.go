@@ -1,0 +1,210 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"roccc/internal/cc"
+	"roccc/internal/hir"
+	"roccc/internal/vm"
+)
+
+func lower(t *testing.T, src, name string) *vm.Routine {
+	t.Helper()
+	p, f, err := hir.BuildFunc(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := hir.ExtractKernel(p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := vm.Lower(k.DP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	rt := lower(t, `void f(int a, int b, int* o) { *o = a + b * 2; }`, "f")
+	g, err := Build(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straight-line code: a single block into the exit.
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	if len(g.Entry().Succs) != 1 || g.Entry().Succs[0] != g.Exit {
+		t.Error("entry must flow to exit")
+	}
+}
+
+func TestBuildDiamond(t *testing.T) {
+	src := `void f(int a, int* o) { int r; if (a > 0) { r = a; } else { r = -a; } *o = r; }`
+	g, err := Build(lower(t, src, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := g.Entry()
+	if entry.BranchCond == nil || len(entry.Succs) != 2 {
+		t.Fatal("entry is not a branch")
+	}
+	// Both branch targets converge.
+	joins := 0
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 2 {
+			joins++
+		}
+	}
+	if joins != 1 {
+		t.Errorf("joins = %d, want 1", joins)
+	}
+}
+
+func TestBuildNestedDiamonds(t *testing.T) {
+	src := `
+void f(int a, int b, int* o) {
+	int r;
+	if (a > 0) {
+		if (b > 0) { r = 1; } else { r = 2; }
+	} else {
+		if (b > 0) { r = 3; } else { r = 4; }
+	}
+	*o = r;
+}
+`
+	g, err := Build(lower(t, src, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := 0
+	for _, b := range g.Blocks {
+		if b.BranchCond != nil {
+			branches++
+		}
+	}
+	if branches != 3 {
+		t.Errorf("branches = %d, want 3", branches)
+	}
+	// RPO visits entry first and every reachable block once.
+	rpo := g.ReversePostOrder()
+	if rpo[0] != g.Entry() {
+		t.Error("RPO does not start at entry")
+	}
+	seen := map[*Block]bool{}
+	for _, b := range rpo {
+		if seen[b] {
+			t.Error("duplicate block in RPO")
+		}
+		seen[b] = true
+	}
+}
+
+func TestDominatorsChain(t *testing.T) {
+	src := `
+void f(int a, int* o) {
+	int r;
+	r = a;
+	if (a > 0) { r = r + 1; }
+	if (a > 1) { r = r + 2; }
+	*o = r;
+}
+`
+	g, err := Build(lower(t, src, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idom := g.Dominators()
+	entry := g.Entry()
+	if idom[entry] != entry {
+		t.Error("entry must dominate itself")
+	}
+	// Every reachable block walks up to the entry.
+	for _, b := range g.ReversePostOrder() {
+		d := b
+		for i := 0; i < 50 && d != entry; i++ {
+			nd, ok := idom[d]
+			if !ok {
+				t.Fatalf("block %d has no idom", d.ID)
+			}
+			d = nd
+		}
+		if d != entry {
+			t.Errorf("block %d does not reach entry in the dom tree", b.ID)
+		}
+	}
+}
+
+func TestDominanceFrontierTriangle(t *testing.T) {
+	// If without else: the join's frontier relation still holds.
+	src := `void f(int a, int* o) { int r; r = 0; if (a > 0) { r = a; } *o = r; }`
+	g, err := Build(lower(t, src, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := g.DominanceFrontier()
+	var join *Block
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join")
+	}
+	found := false
+	for _, frontier := range df {
+		for _, fb := range frontier {
+			if fb == join {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("join not in any dominance frontier")
+	}
+}
+
+func TestPredIndex(t *testing.T) {
+	src := `void f(int a, int* o) { int r; if (a > 0) { r = 1; } else { r = 2; } *o = r; }`
+	g, err := Build(lower(t, src, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Blocks {
+		for i, p := range b.Preds {
+			if b.PredIndex(p) != i {
+				t.Errorf("PredIndex mismatch at block %d", b.ID)
+			}
+		}
+		if b.PredIndex(g.Exit) != -1 && len(b.Preds) == 0 {
+			t.Error("PredIndex of non-pred should be -1")
+		}
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g, err := Build(lower(t, `void f(int a, int* o) { *o = a; }`, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.String(), "block 0") {
+		t.Error("graph printout missing block header")
+	}
+}
+
+func TestUnknownLabelError(t *testing.T) {
+	rt := &vm.Routine{
+		Name:    "bad",
+		RegType: map[vm.Reg]cc.IntType{},
+		Instrs: []*vm.Instr{
+			{Op: vm.JMP, Label: "nowhere"},
+			{Op: vm.RET},
+		},
+	}
+	if _, err := Build(rt); err == nil {
+		t.Error("unknown label not reported")
+	}
+}

@@ -1,0 +1,222 @@
+package ctrl
+
+import (
+	"testing"
+
+	"roccc/internal/hir"
+)
+
+func TestReadGenSequential(t *testing.T) {
+	g := NewReadGen(10, 3)
+	var got []int
+	for !g.Done() {
+		got = append(got, g.Next()...)
+	}
+	if len(got) != 10 {
+		t.Fatalf("issued %d addresses, want 10", len(got))
+	}
+	for i, a := range got {
+		if a != i {
+			t.Errorf("address %d = %d", i, a)
+		}
+	}
+	if g.Next() != nil {
+		t.Error("Next after done must return nil")
+	}
+	g.Reset()
+	if g.Done() {
+		t.Error("reset generator reports done")
+	}
+}
+
+func TestReadGenBusBatches(t *testing.T) {
+	g := NewReadGen(8, 4)
+	if n := len(g.Next()); n != 4 {
+		t.Errorf("first batch = %d", n)
+	}
+	if n := len(g.Next()); n != 4 {
+		t.Errorf("second batch = %d", n)
+	}
+	if !g.Done() {
+		t.Error("not done after 8 addresses")
+	}
+}
+
+func nest1D(iv *hir.Var, from, to, step int64) *hir.LoopNest {
+	return &hir.LoopNest{
+		Vars: []*hir.Var{iv},
+		From: []int64{from},
+		To:   []int64{to},
+		Step: []int64{step},
+	}
+}
+
+func TestWriteGen1D(t *testing.T) {
+	iv := &hir.Var{Name: "i", Kind: hir.VarLoop}
+	arr := &hir.Array{Name: "C", Dims: []int{20}}
+	acc := &hir.WriteAccess{
+		Arr:  arr,
+		Dims: []hir.WindowDim{{Var: iv, Scale: 1}},
+		Elems: []hir.WindowElem{
+			{Offsets: []int64{0}, Elem: &hir.Var{Name: "t0"}},
+		},
+	}
+	g, err := NewWriteGen(acc, nest1D(iv, 0, 17, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		addrs := g.Next()
+		if len(addrs) != 1 || addrs[0] != i {
+			t.Fatalf("iteration %d: addrs = %v", i, addrs)
+		}
+	}
+	if !g.Done() || g.Next() != nil {
+		t.Error("generator not exhausted after the nest")
+	}
+}
+
+func TestWriteGenStride8(t *testing.T) {
+	iv := &hir.Var{Name: "i", Kind: hir.VarLoop}
+	arr := &hir.Array{Name: "Y", Dims: []int{64}}
+	elems := make([]hir.WindowElem, 8)
+	for k := range elems {
+		elems[k] = hir.WindowElem{Offsets: []int64{int64(k)}, Elem: &hir.Var{Name: "t"}}
+	}
+	acc := &hir.WriteAccess{Arr: arr, Dims: []hir.WindowDim{{Var: iv, Scale: 1}}, Elems: elems}
+	g, err := NewWriteGen(acc, nest1D(iv, 0, 64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < 8; blk++ {
+		addrs := g.Next()
+		for k, a := range addrs {
+			if a != blk*8+k {
+				t.Fatalf("block %d elem %d: addr %d", blk, k, a)
+			}
+		}
+	}
+	if !g.Done() {
+		t.Error("not done")
+	}
+}
+
+func TestWriteGen2D(t *testing.T) {
+	i := &hir.Var{Name: "i", Kind: hir.VarLoop}
+	j := &hir.Var{Name: "j", Kind: hir.VarLoop}
+	nest := &hir.LoopNest{
+		Vars: []*hir.Var{i, j},
+		From: []int64{0, 0},
+		To:   []int64{3, 4},
+		Step: []int64{1, 1},
+	}
+	arr := &hir.Array{Name: "out", Dims: []int{3, 4}}
+	acc := &hir.WriteAccess{
+		Arr:  arr,
+		Dims: []hir.WindowDim{{Var: i, Scale: 1}, {Var: j, Scale: 1}},
+		Elems: []hir.WindowElem{
+			{Offsets: []int64{0, 0}, Elem: &hir.Var{Name: "t"}},
+		},
+	}
+	g, err := NewWriteGen(acc, nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for !g.Done() {
+		addrs := g.Next()
+		if addrs == nil {
+			break
+		}
+		if addrs[0] != want {
+			t.Fatalf("addr = %d, want %d (row-major order)", addrs[0], want)
+		}
+		want++
+	}
+	if want != 12 {
+		t.Errorf("iterations = %d, want 12", want)
+	}
+}
+
+func TestWriteGenScaled(t *testing.T) {
+	// wavelet-style: out[i][j] with stride-2 scale on a nest over 14x14.
+	i := &hir.Var{Name: "i", Kind: hir.VarLoop}
+	arr := &hir.Array{Name: "LL", Dims: []int{14}}
+	acc := &hir.WriteAccess{
+		Arr:   arr,
+		Dims:  []hir.WindowDim{{Var: i, Scale: 1}},
+		Elems: []hir.WindowElem{{Offsets: []int64{0}, Elem: &hir.Var{Name: "t"}}},
+	}
+	g, err := NewWriteGen(acc, nest1D(i, 0, 14, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for !g.Done() {
+		if g.Next() == nil {
+			break
+		}
+		n++
+	}
+	if n != 14 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestWriteGenRejectsUnknownVar(t *testing.T) {
+	iv := &hir.Var{Name: "i", Kind: hir.VarLoop}
+	other := &hir.Var{Name: "x"}
+	arr := &hir.Array{Name: "C", Dims: []int{8}}
+	acc := &hir.WriteAccess{
+		Arr:   arr,
+		Dims:  []hir.WindowDim{{Var: other, Scale: 1}},
+		Elems: []hir.WindowElem{{Offsets: []int64{0}, Elem: &hir.Var{Name: "t"}}},
+	}
+	if _, err := NewWriteGen(acc, nest1D(iv, 0, 8, 1)); err == nil {
+		t.Error("unknown index variable not rejected")
+	}
+}
+
+func TestControllerFSM(t *testing.T) {
+	c := NewController(3, 2)
+	if c.StateNow() != Idle {
+		t.Error("controller must start idle")
+	}
+	// Window not ready: fill, no feed.
+	if c.Tick(false) {
+		t.Error("fed without a ready window")
+	}
+	if c.StateNow() != Fill {
+		t.Errorf("state = %s, want fill", c.StateNow())
+	}
+	// Feed three iterations.
+	for i := 0; i < 3; i++ {
+		if !c.Tick(true) {
+			t.Fatalf("iteration %d not fed", i)
+		}
+	}
+	if c.Fed() != 3 {
+		t.Errorf("fed = %d", c.Fed())
+	}
+	// No more feeds.
+	if c.Tick(true) {
+		t.Error("fed beyond the iteration count")
+	}
+	if c.StateNow() != Drain {
+		t.Errorf("state = %s, want drain", c.StateNow())
+	}
+	for i := 0; i < 3; i++ {
+		c.Collect()
+	}
+	if !c.Finished() {
+		t.Errorf("state = %s, want done", c.StateNow())
+	}
+}
+
+func TestControllerStateStrings(t *testing.T) {
+	for _, s := range []State{Idle, Fill, Stream, Drain, DoneSt} {
+		if s.String() == "?" {
+			t.Errorf("state %d has no name", s)
+		}
+	}
+}

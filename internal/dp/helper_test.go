@@ -1,0 +1,17 @@
+package dp_test
+
+import (
+	"roccc/internal/core"
+	"roccc/internal/hir"
+	"roccc/internal/ssa"
+)
+
+// ssaExecGraph runs the kernel's SSA graph in software (soft-node
+// semantics) for one iteration.
+func ssaExecGraph(res *core.Result, in []int64) ([]int64, error) {
+	state := map[*hir.Var]int64{}
+	for _, fb := range res.Kernel.Feedback {
+		state[fb.Var] = fb.Init
+	}
+	return ssa.Exec(res.Graph, in, state)
+}

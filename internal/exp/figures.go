@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"roccc/internal/core"
+	"roccc/internal/dp"
+	"roccc/internal/hir"
+)
+
+// figures.go regenerates the paper's structural figures: the code
+// transformations of Fig. 3 and Fig. 4 and the data-path structures of
+// Fig. 6 and Fig. 7.
+
+// Fig3Source is the 5-tap FIR of Fig. 3(a).
+const Fig3Source = `
+int A[21];
+int C[17];
+void fir() {
+	int i;
+	for (i = 0; i < 17; i = i + 1) {
+		C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+	}
+}
+`
+
+// Fig4Source is the accumulator of Fig. 4(a).
+const Fig4Source = `
+int A[32];
+int sum;
+void accum() {
+	int i;
+	sum = 0;
+	for (i = 0; i < 32; i++) {
+		sum = sum + A[i];
+	}
+}
+`
+
+// Fig5Source is the alternative-branch kernel of Fig. 5.
+const Fig5Source = `
+void if_else(int x1, int x2, int* x3, int* x4) {
+	int a, c;
+	c = x1 - x2;
+	if (c < x2)
+		a = x1*x1;
+	else
+		a = x1 * x2 + 3;
+	c = c - a;
+	*x3 = c;
+	*x4 = a;
+	return;
+}
+`
+
+// FigureResult bundles one figure's regenerated artifacts.
+type FigureResult struct {
+	Title string
+	Text  string
+}
+
+// Fig3 reproduces Fig. 3: scalar replacement isolates the FIR's memory
+// accesses; the exported data-path function takes the five window
+// scalars and produces one output.
+func Fig3() (*FigureResult, error) {
+	res, err := core.CompileSource(Fig3Source, "fir", core.Options{Optimize: false, PeriodNs: 5})
+	if err != nil {
+		return nil, err
+	}
+	k := res.Kernel
+	var b strings.Builder
+	b.WriteString("Fig. 3 — scalar replacement on the 5-tap FIR\n\n")
+	b.WriteString("(c) exported data-path function:\n")
+	b.WriteString(k.DataPathC())
+	b.WriteString("\n\nwindow: array A, taps ")
+	for i, e := range k.Reads[0].Elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "A[i+%d]->%s", e.Offsets[0], e.Elem.Name)
+	}
+	lo, extent := k.Reads[0].Span(0)
+	fmt.Fprintf(&b, "\nwindow span [%d,%d), stride %d, %d iterations\n",
+		lo, lo+extent, k.Nest.Step[0], k.Nest.Trips(0))
+	return &FigureResult{Title: "Fig3", Text: b.String()}, nil
+}
+
+// Fig4 reproduces Fig. 4: the accumulator's sum is detected as feedback
+// and annotated with ROCCC_load_prev / ROCCC_store2next.
+func Fig4() (*FigureResult, error) {
+	res, err := core.CompileSource(Fig4Source, "accum", core.Options{Optimize: false, PeriodNs: 5})
+	if err != nil {
+		return nil, err
+	}
+	k := res.Kernel
+	var b strings.Builder
+	b.WriteString("Fig. 4 — feedback detection on the accumulator\n\n")
+	b.WriteString("(c) exported data-path function with feedback macros:\n")
+	b.WriteString(k.DataPathC())
+	fmt.Fprintf(&b, "\n\nfeedback variables: %d\n", len(k.Feedback))
+	for _, fb := range k.Feedback {
+		fmt.Fprintf(&b, "  %s (init %d) -> output %s\n", fb.Var.Name, fb.Init, fb.Out.Name)
+	}
+	return &FigureResult{Title: "Fig4", Text: b.String()}, nil
+}
+
+// Fig6 reproduces Fig. 6: the if_else data path with soft nodes for the
+// CFG blocks, a pipe node copying the live c, and a mux node merging a.
+func Fig6() (*FigureResult, *dp.Datapath, error) {
+	res, err := core.CompileSource(Fig5Source, "if_else", core.Options{Optimize: false, PeriodNs: 5})
+	if err != nil {
+		return nil, nil, err
+	}
+	d := res.Datapath
+	var b strings.Builder
+	b.WriteString("Fig. 6 — alternative-branch data path (Fig. 5 kernel)\n\n")
+	fmt.Fprintf(&b, "%s\n\n", d.Summary())
+	for _, n := range d.Nodes {
+		fmt.Fprintf(&b, "node %d: %s, level %d, %d ops\n", n.ID, n.Kind, n.Level, len(n.Ops))
+	}
+	b.WriteString("\nDOT:\n")
+	b.WriteString(d.Dot())
+	return &FigureResult{Title: "Fig6", Text: b.String()}, d, nil
+}
+
+// Fig7 reproduces Fig. 7: the accumulator data path with the SNX/LPR
+// feedback latch.
+func Fig7() (*FigureResult, *dp.Datapath, error) {
+	res, err := core.CompileSource(Fig4Source, "accum", core.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	d := res.Datapath
+	var b strings.Builder
+	b.WriteString("Fig. 7 — accumulator data path with feedback latch\n\n")
+	fmt.Fprintf(&b, "%s\n", d.Summary())
+	for _, fb := range d.Feedbacks {
+		fmt.Fprintf(&b, "feedback latch %s: %d LPR reader(s), SNX at stage %d, init %d\n",
+			fb.State.Name, len(fb.LPRs), fb.SNX.Stage, fb.Init)
+	}
+	b.WriteString("\nDOT:\n")
+	b.WriteString(d.Dot())
+	return &FigureResult{Title: "Fig7", Text: b.String()}, d, nil
+}
+
+// SoftNodeProperty checks the paper's §4.2.2 equivalence on a compiled
+// kernel: running the SSA soft nodes in software equals the pipelined
+// hardware data path. It returns the number of vectors checked.
+func SoftNodeProperty(src, fname string, vectors [][]int64) (int, error) {
+	res, err := core.CompileSource(src, fname, core.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	sim := dp.NewSim(res.Datapath)
+	hw, err := sim.Run(vectors)
+	if err != nil {
+		return 0, err
+	}
+	for i, in := range vectors {
+		env := hir.NewEnv()
+		for j, p := range res.Kernel.DP.Params {
+			env.Vars[p] = in[j]
+		}
+		if err := hir.RunFunc(res.Kernel.DP, env); err != nil {
+			return 0, err
+		}
+		for j, o := range res.Kernel.DP.Outs {
+			if hw[i][j] != env.Vars[o] {
+				return i, fmt.Errorf("exp: vector %d output %d: hw %d != sw %d",
+					i, j, hw[i][j], env.Vars[o])
+			}
+		}
+	}
+	return len(vectors), nil
+}

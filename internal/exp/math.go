@@ -1,0 +1,8 @@
+package exp
+
+import "math"
+
+func exp2(x float64) float64 { return math.Exp2(x) }
+func log2(x float64) float64 { return math.Log2(x) }
+
+func mathCos(x float64) float64 { return math.Cos(x) }

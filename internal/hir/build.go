@@ -1,0 +1,593 @@
+package hir
+
+import (
+	"fmt"
+
+	"roccc/internal/cc"
+)
+
+// Build converts an analyzed C file into HIR. All user function calls
+// are inlined (the paper: "Function calls will either be inlined or
+// whenever feasible made into a lookup table"); const arrays become ROMs;
+// while-loops and other non-canonical loop forms are rejected because the
+// hardware back end needs statically-structured loops.
+func Build(info *cc.Info) (*Program, error) {
+	b := &builder{
+		info:   info,
+		prog:   &Program{},
+		vars:   map[*cc.Symbol]*Var{},
+		arrays: map[*cc.Symbol]*Array{},
+		roms:   map[*cc.Symbol]*Rom{},
+	}
+	for _, g := range info.File.Globals {
+		if err := b.global(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, fn := range info.File.Funcs {
+		// Non-void functions exist only to be inlined at their call
+		// sites; only void functions are kernel entry points.
+		if _, isVoid := fn.Ret.(cc.VoidType); !isVoid {
+			continue
+		}
+		f, err := b.function(fn)
+		if err != nil {
+			return nil, err
+		}
+		b.prog.Funcs = append(b.prog.Funcs, f)
+	}
+	return b.prog, nil
+}
+
+// BuildFunc is a convenience wrapper: parse, analyze and build, then
+// return the named function and its program.
+func BuildFunc(src, name string) (*Program, *Func, error) {
+	file, err := cc.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := cc.Analyze(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := Build(info)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := prog.Func(name)
+	if f == nil {
+		return nil, nil, fmt.Errorf("hir: no function %q", name)
+	}
+	return prog, f, nil
+}
+
+type builder struct {
+	info   *cc.Info
+	prog   *Program
+	vars   map[*cc.Symbol]*Var
+	arrays map[*cc.Symbol]*Array
+	roms   map[*cc.Symbol]*Rom
+
+	fn    *Func  // function being built
+	out   []Stmt // statement accumulator of the current block
+	depth int    // inlining depth guard
+}
+
+func (b *builder) global(g *cc.VarDecl) error {
+	sym := b.info.GlobalSyms[g]
+	if sym == nil {
+		return fmt.Errorf("hir: global %q has no symbol", g.Name)
+	}
+	switch t := g.Type.(type) {
+	case cc.IntType:
+		v := &Var{Name: g.Name, Type: t, Kind: VarGlobal}
+		if lit, ok := g.Init.(*cc.NumberLit); ok {
+			v.Init = t.Wrap(lit.Val)
+		}
+		b.vars[sym] = v
+		b.prog.Globals = append(b.prog.Globals, v)
+	case cc.ArrayType:
+		if g.IsConst {
+			r := &Rom{Name: g.Name, Elem: t.Elem, Size: sizeOf(t)}
+			r.Content = make([]int64, r.Size)
+			for i, v := range g.InitArr {
+				r.Content[i] = t.Elem.Wrap(v)
+			}
+			b.roms[sym] = r
+			b.prog.Roms = append(b.prog.Roms, r)
+		} else {
+			a := &Array{Name: g.Name, Elem: t.Elem, Dims: t.Dims}
+			b.arrays[sym] = a
+			b.prog.Arrays = append(b.prog.Arrays, a)
+		}
+	}
+	return nil
+}
+
+func sizeOf(t cc.ArrayType) int {
+	n := t.Dims[0]
+	if len(t.Dims) == 2 {
+		n *= t.Dims[1]
+	}
+	return n
+}
+
+func (b *builder) function(fn *cc.FuncDecl) (*Func, error) {
+	f := &Func{Name: fn.Name}
+	b.fn = f
+	sub := map[*cc.Symbol]*Var{} // function-local symbol bindings
+	for _, prm := range fn.Params {
+		sym := b.paramSym(fn, prm.Name)
+		switch t := prm.Type.(type) {
+		case cc.IntType:
+			v := &Var{Name: prm.Name, Type: t, Kind: VarParam}
+			sub[sym] = v
+			f.Params = append(f.Params, v)
+		case cc.PointerType:
+			v := &Var{Name: prm.Name, Type: t.Elem, Kind: VarOut}
+			sub[sym] = v
+			f.Outs = append(f.Outs, v)
+		case cc.ArrayType:
+			a := &Array{Name: prm.Name, Elem: t.Elem, Dims: t.Dims}
+			if b.prog.Array(prm.Name) == nil {
+				b.prog.Arrays = append(b.prog.Arrays, a)
+			} else {
+				a = b.prog.Array(prm.Name)
+			}
+			b.arrays[sym] = a
+		}
+	}
+	body, err := b.convertBlock(fn.Body, sub)
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// paramSym returns the checker's Symbol for a parameter of fn.
+func (b *builder) paramSym(fn *cc.FuncDecl, name string) *cc.Symbol {
+	if m := b.info.ParamSyms[fn]; m != nil {
+		if sym, ok := m[name]; ok {
+			return sym
+		}
+	}
+	return &cc.Symbol{Name: name, Kind: cc.SymParam}
+}
+
+func (b *builder) convertBlock(blk *cc.Block, sub map[*cc.Symbol]*Var) ([]Stmt, error) {
+	saved := b.out
+	b.out = nil
+	for _, s := range blk.Stmts {
+		if err := b.convertStmt(s, sub); err != nil {
+			b.out = saved
+			return nil, err
+		}
+	}
+	res := b.out
+	b.out = saved
+	return res, nil
+}
+
+func (b *builder) emit(s Stmt) { b.out = append(b.out, s) }
+
+func (b *builder) convertStmt(s cc.Stmt, sub map[*cc.Symbol]*Var) error {
+	switch s := s.(type) {
+	case *cc.Block:
+		inner, err := b.convertBlock(s, sub)
+		if err != nil {
+			return err
+		}
+		b.out = append(b.out, inner...)
+		return nil
+	case *cc.LocalDecl:
+		sym := b.info.LocalSyms[s]
+		if sym == nil {
+			sym = &cc.Symbol{Name: s.Name, Kind: cc.SymLocal, Type: s.Type}
+		}
+		v := &Var{Name: s.Name, Type: s.Type.(cc.IntType), Kind: VarLocal}
+		sub[sym] = v
+		if s.Init != nil {
+			src, err := b.convertExpr(s.Init, sub)
+			if err != nil {
+				return err
+			}
+			b.emit(&Assign{Dst: v, Src: b.coerce(src, v.Type)})
+		}
+		return nil
+	case *cc.Assign:
+		src, err := b.convertExpr(s.RHS, sub)
+		if err != nil {
+			return err
+		}
+		return b.convertStore(s.LHS, src, sub)
+	case *cc.If:
+		cond, err := b.convertExpr(s.Cond, sub)
+		if err != nil {
+			return err
+		}
+		thenStmts, err := b.convertBlock(s.Then, sub)
+		if err != nil {
+			return err
+		}
+		var elseStmts []Stmt
+		if s.Else != nil {
+			elseStmts, err = b.convertBlock(s.Else, sub)
+			if err != nil {
+				return err
+			}
+		}
+		b.emit(&If{Cond: cond, Then: thenStmts, Else: elseStmts})
+		return nil
+	case *cc.For:
+		return b.convertFor(s, sub)
+	case *cc.Return:
+		if s.Value == nil {
+			return nil
+		}
+		// Returns with values only appear in inlined callees; the
+		// function() driver rejects top-level value returns earlier.
+		return fmt.Errorf("hir: unexpected value return (only void kernels are compiled)")
+	case *cc.ExprStmt:
+		call, ok := s.X.(*cc.Call)
+		if !ok {
+			return fmt.Errorf("hir: expression statement must be a call")
+		}
+		return b.convertCallStmt(call, sub)
+	default:
+		return fmt.Errorf("hir: unexpected statement %T", s)
+	}
+}
+
+func (b *builder) convertStore(lhs cc.Expr, src Expr, sub map[*cc.Symbol]*Var) error {
+	switch lhs := lhs.(type) {
+	case *cc.Ident:
+		v, err := b.varFor(lhs, sub)
+		if err != nil {
+			return err
+		}
+		b.emit(&Assign{Dst: v, Src: b.coerce(src, v.Type)})
+		return nil
+	case *cc.Index:
+		sym := b.info.SymbolOf(lhs)
+		arr, ok := b.arrays[sym]
+		if !ok {
+			return fmt.Errorf("hir: store to unknown array %q", lhs.Base.Name)
+		}
+		idx := make([]Expr, len(lhs.Idx))
+		for i, ix := range lhs.Idx {
+			e, err := b.convertExpr(ix, sub)
+			if err != nil {
+				return err
+			}
+			idx[i] = e
+		}
+		b.emit(&Store{Arr: arr, Idx: idx, Src: b.coerce(src, arr.Elem)})
+		return nil
+	case *cc.Deref:
+		sym := b.info.SymbolOf(lhs)
+		v, ok := sub[sym]
+		if !ok {
+			return fmt.Errorf("hir: store through unknown out-param %q", lhs.X.Name)
+		}
+		b.emit(&Assign{Dst: v, Src: b.coerce(src, v.Type)})
+		return nil
+	default:
+		return fmt.Errorf("hir: bad store target %T", lhs)
+	}
+}
+
+func (b *builder) varFor(id *cc.Ident, sub map[*cc.Symbol]*Var) (*Var, error) {
+	sym := b.info.SymbolOf(id)
+	if sym == nil {
+		return nil, fmt.Errorf("hir: unresolved identifier %q", id.Name)
+	}
+	if v, ok := sub[sym]; ok {
+		return v, nil
+	}
+	if v, ok := b.vars[sym]; ok {
+		return v, nil
+	}
+	// First sight of a local/global symbol via use (e.g. loop variables
+	// declared in enclosing scopes).
+	v := &Var{Name: sym.Name, Type: sym.Elem(), Kind: VarLocal}
+	if sym.Kind == cc.SymGlobal {
+		v.Kind = VarGlobal
+	}
+	b.vars[sym] = v
+	return v, nil
+}
+
+// convertFor canonicalizes a C for-loop into the HIR counted form.
+func (b *builder) convertFor(s *cc.For, sub map[*cc.Symbol]*Var) error {
+	if s.Init == nil || s.Cond == nil || s.Post == nil {
+		return fmt.Errorf("hir: loop must have init, condition and post statement (while-loops are not synthesizable)")
+	}
+	initID, ok := s.Init.LHS.(*cc.Ident)
+	if !ok {
+		return fmt.Errorf("hir: loop initializer must assign the induction variable")
+	}
+	iv, err := b.varFor(initID, sub)
+	if err != nil {
+		return err
+	}
+	iv.Kind = VarLoop
+	from, err := b.convertExpr(s.Init.RHS, sub)
+	if err != nil {
+		return err
+	}
+	cond, ok := s.Cond.(*cc.Binary)
+	if !ok {
+		return fmt.Errorf("hir: loop condition must be i < bound or i <= bound")
+	}
+	condID, ok := cond.X.(*cc.Ident)
+	if !ok || b.info.SymbolOf(condID) != b.info.SymbolOf(initID) {
+		return fmt.Errorf("hir: loop condition must test the induction variable")
+	}
+	to, err := b.convertExpr(cond.Y, sub)
+	if err != nil {
+		return err
+	}
+	switch cond.Op {
+	case cc.LT:
+	case cc.LE:
+		to = &Bin{Op: OpAdd, X: to, Y: &Const{Val: 1, Typ: to.Type()}, Typ: to.Type()}
+	default:
+		return fmt.Errorf("hir: loop condition must use < or <=")
+	}
+	postID, ok := s.Post.LHS.(*cc.Ident)
+	if !ok || b.info.SymbolOf(postID) != b.info.SymbolOf(initID) {
+		return fmt.Errorf("hir: loop post statement must update the induction variable")
+	}
+	step, err := stepOf(s.Post.RHS, initID, b.info)
+	if err != nil {
+		return err
+	}
+	body, err := b.convertBlock(s.Body, sub)
+	if err != nil {
+		return err
+	}
+	b.emit(&For{Var: iv, From: from, To: to, Step: step, Body: body})
+	return nil
+}
+
+// stepOf extracts the constant positive step from "i = i + c" / "i = c + i".
+func stepOf(rhs cc.Expr, iv *cc.Ident, info *cc.Info) (int64, error) {
+	bin, ok := rhs.(*cc.Binary)
+	if !ok || bin.Op != cc.PLUS {
+		return 0, fmt.Errorf("hir: loop step must be i = i + constant")
+	}
+	var cexpr cc.Expr
+	if id, ok := bin.X.(*cc.Ident); ok && info.SymbolOf(id) == info.SymbolOf(iv) {
+		cexpr = bin.Y
+	} else if id, ok := bin.Y.(*cc.Ident); ok && info.SymbolOf(id) == info.SymbolOf(iv) {
+		cexpr = bin.X
+	} else {
+		return 0, fmt.Errorf("hir: loop step must be i = i + constant")
+	}
+	lit, ok := cexpr.(*cc.NumberLit)
+	if !ok || lit.Val <= 0 {
+		return 0, fmt.Errorf("hir: loop step must be a positive constant")
+	}
+	return lit.Val, nil
+}
+
+var binOps = map[cc.Kind]Op{
+	cc.PLUS: OpAdd, cc.MINUS: OpSub, cc.STAR: OpMul, cc.SLASH: OpDiv,
+	cc.PERCENT: OpRem, cc.AMP: OpAnd, cc.PIPE: OpOr, cc.CARET: OpXor,
+	cc.SHL: OpShl, cc.SHR: OpShr, cc.LT: OpLt, cc.LE: OpLe, cc.GT: OpGt,
+	cc.GE: OpGe, cc.EQ: OpEq, cc.NE: OpNe, cc.LAND: OpLAnd, cc.LOR: OpLOr,
+}
+
+// coerce inserts a Cast when the expression's type differs from want.
+func (b *builder) coerce(e Expr, want cc.IntType) Expr {
+	if e.Type() == want {
+		return e
+	}
+	if c, ok := e.(*Const); ok {
+		return &Const{Val: want.Wrap(c.Val), Typ: want}
+	}
+	return &Cast{X: e, Typ: want}
+}
+
+func (b *builder) convertExpr(e cc.Expr, sub map[*cc.Symbol]*Var) (Expr, error) {
+	switch e := e.(type) {
+	case *cc.NumberLit:
+		return &Const{Val: e.Val, Typ: b.info.IntTypeOf(e)}, nil
+	case *cc.Ident:
+		v, err := b.varFor(e, sub)
+		if err != nil {
+			return nil, err
+		}
+		return &VarRef{Var: v}, nil
+	case *cc.Index:
+		sym := b.info.SymbolOf(e)
+		if rom, ok := b.roms[sym]; ok {
+			if len(e.Idx) != 1 {
+				return nil, fmt.Errorf("hir: 2-D ROMs are not supported")
+			}
+			ix, err := b.convertExpr(e.Idx[0], sub)
+			if err != nil {
+				return nil, err
+			}
+			return &LutRef{Rom: rom, Idx: ix}, nil
+		}
+		arr, ok := b.arrays[sym]
+		if !ok {
+			return nil, fmt.Errorf("hir: load from unknown array %q", e.Base.Name)
+		}
+		idx := make([]Expr, len(e.Idx))
+		for i, ix := range e.Idx {
+			conv, err := b.convertExpr(ix, sub)
+			if err != nil {
+				return nil, err
+			}
+			idx[i] = conv
+		}
+		return &Load{Arr: arr, Idx: idx}, nil
+	case *cc.Deref:
+		sym := b.info.SymbolOf(e)
+		v, ok := sub[sym]
+		if !ok {
+			return nil, fmt.Errorf("hir: read of unknown out-param %q", e.X.Name)
+		}
+		return &VarRef{Var: v}, nil
+	case *cc.Unary:
+		x, err := b.convertExpr(e.X, sub)
+		if err != nil {
+			return nil, err
+		}
+		t := b.info.IntTypeOf(e)
+		switch e.Op {
+		case cc.MINUS:
+			return &Un{Op: OpNeg, X: x, Typ: t}, nil
+		case cc.TILDE:
+			return &Un{Op: OpNot, X: x, Typ: t}, nil
+		case cc.BANG:
+			return &Un{Op: OpLNot, X: x, Typ: t}, nil
+		}
+		return nil, fmt.Errorf("hir: unary %s", e.Op)
+	case *cc.Binary:
+		x, err := b.convertExpr(e.X, sub)
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.convertExpr(e.Y, sub)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binOps[e.Op]
+		if !ok {
+			return nil, fmt.Errorf("hir: binary %s", e.Op)
+		}
+		return &Bin{Op: op, X: x, Y: y, Typ: b.info.IntTypeOf(e)}, nil
+	case *cc.CondExpr:
+		c, err := b.convertExpr(e.Cond, sub)
+		if err != nil {
+			return nil, err
+		}
+		tt, err := b.convertExpr(e.Then, sub)
+		if err != nil {
+			return nil, err
+		}
+		ff, err := b.convertExpr(e.Else, sub)
+		if err != nil {
+			return nil, err
+		}
+		t := b.info.IntTypeOf(e)
+		return &Sel{Cond: c, Then: b.coerce(tt, t), Else: b.coerce(ff, t), Typ: t}, nil
+	case *cc.Call:
+		return b.convertCallExpr(e, sub)
+	default:
+		return nil, fmt.Errorf("hir: unexpected expression %T", e)
+	}
+}
+
+func (b *builder) convertCallExpr(e *cc.Call, sub map[*cc.Symbol]*Var) (Expr, error) {
+	if t, ok := cc.IsCastIntrinsic(e.Name); ok {
+		x, err := b.convertExpr(e.Args[0], sub)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := x.(*Const); ok {
+			return &Const{Val: t.Wrap(c.Val), Typ: t}, nil
+		}
+		return &Cast{X: x, Typ: t}, nil
+	}
+	if e.Name == cc.IntrinsicLoadPrev {
+		id := e.Args[0].(*cc.Ident)
+		v, err := b.varFor(id, sub)
+		if err != nil {
+			return nil, err
+		}
+		return &LoadPrev{Var: v}, nil
+	}
+	// User function call: inline.
+	return b.inlineCall(e, sub)
+}
+
+func (b *builder) convertCallStmt(e *cc.Call, sub map[*cc.Symbol]*Var) error {
+	if e.Name == cc.IntrinsicStoreNext {
+		id := e.Args[0].(*cc.Ident)
+		v, err := b.varFor(id, sub)
+		if err != nil {
+			return err
+		}
+		src, err := b.convertExpr(e.Args[1], sub)
+		if err != nil {
+			return err
+		}
+		b.emit(&StoreNext{Var: v, Src: b.coerce(src, v.Type)})
+		return nil
+	}
+	_, err := b.convertCallExpr(e, sub)
+	return err
+}
+
+// inlineCall expands a user function call into the current statement
+// stream, returning the expression holding the return value.
+func (b *builder) inlineCall(e *cc.Call, sub map[*cc.Symbol]*Var) (Expr, error) {
+	if b.depth > 32 {
+		return nil, fmt.Errorf("hir: inlining depth exceeded at call to %q", e.Name)
+	}
+	callee, ok := b.info.Funcs[e.Name]
+	if !ok {
+		return nil, fmt.Errorf("hir: call to unknown function %q", e.Name)
+	}
+	inner := map[*cc.Symbol]*Var{}
+	ai := 0
+	for _, prm := range callee.Params {
+		switch t := prm.Type.(type) {
+		case cc.IntType:
+			tmp := b.fn.NewTemp(t)
+			arg, err := b.convertExpr(e.Args[ai], sub)
+			if err != nil {
+				return nil, err
+			}
+			b.emit(&Assign{Dst: tmp, Src: b.coerce(arg, t)})
+			inner[b.paramSym(callee, prm.Name)] = tmp
+			ai++
+		case cc.PointerType:
+			return nil, fmt.Errorf("hir: cannot inline %q: pointer parameters in callees are not supported", e.Name)
+		case cc.ArrayType:
+			// Array parameters bind by name to the program-scope array.
+			sym := b.paramSym(callee, prm.Name)
+			arr := b.prog.Array(prm.Name)
+			if arr == nil {
+				arr = &Array{Name: prm.Name, Elem: t.Elem, Dims: t.Dims}
+				b.prog.Arrays = append(b.prog.Arrays, arr)
+			}
+			b.arrays[sym] = arr
+		}
+	}
+	// The subset requires value returns to be the final statement.
+	stmts := callee.Body.Stmts
+	var retExpr cc.Expr
+	if n := len(stmts); n > 0 {
+		if r, ok := stmts[n-1].(*cc.Return); ok {
+			retExpr = r.Value
+			stmts = stmts[:n-1]
+		}
+	}
+	b.depth++
+	defer func() { b.depth-- }()
+	for _, s := range stmts {
+		if err := b.convertStmt(s, inner); err != nil {
+			return nil, err
+		}
+	}
+	if retExpr == nil {
+		return &Const{Val: 0, Typ: cc.Int32}, nil
+	}
+	ret, err := b.convertExpr(retExpr, inner)
+	if err != nil {
+		return nil, err
+	}
+	rt, isInt := callee.Ret.(cc.IntType)
+	if !isInt {
+		return ret, nil
+	}
+	tmp := b.fn.NewTemp(rt)
+	b.emit(&Assign{Dst: tmp, Src: b.coerce(ret, rt)})
+	return &VarRef{Var: tmp}, nil
+}

@@ -1,0 +1,230 @@
+package hir
+
+import (
+	"strings"
+	"testing"
+
+	"roccc/internal/cc"
+)
+
+// The paper's running examples.
+const firSource = `
+int A[21];
+int C[17];
+void fir() {
+	int i;
+	for (i = 0; i < 17; i = i + 1) {
+		C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+	}
+}
+`
+
+const accumSource = `
+int A[32];
+int sum;
+void accum() {
+	int i;
+	sum = 0;
+	for (i = 0; i < 32; i++) {
+		sum = sum + A[i];
+	}
+}
+`
+
+const ifElseSource = `
+void if_else(int x1, int x2, int* x3, int* x4) {
+	int a, c;
+	c = x1 - x2;
+	if (c < x2)
+		a = x1*x1;
+	else
+		a = x1 * x2 + 3;
+	c = c - a;
+	*x3 = c;
+	*x4 = a;
+	return;
+}
+`
+
+func mustBuild(t *testing.T, src, name string) (*Program, *Func) {
+	t.Helper()
+	p, f, err := BuildFunc(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, f
+}
+
+func TestBuildFIR(t *testing.T) {
+	p, f := mustBuild(t, firSource, "fir")
+	if len(p.Arrays) != 2 {
+		t.Fatalf("arrays = %d, want 2", len(p.Arrays))
+	}
+	if len(f.Body) != 1 {
+		t.Fatalf("body = %d stmts, want 1 (the loop)", len(f.Body))
+	}
+	loop, ok := f.Body[0].(*For)
+	if !ok {
+		t.Fatalf("not a loop: %T", f.Body[0])
+	}
+	if n, ok := TripCount(loop); !ok || n != 17 {
+		t.Errorf("trip count = %d,%v", n, ok)
+	}
+}
+
+func TestBuildIfElse(t *testing.T) {
+	_, f := mustBuild(t, ifElseSource, "if_else")
+	if len(f.Params) != 2 || len(f.Outs) != 2 {
+		t.Fatalf("params=%d outs=%d", len(f.Params), len(f.Outs))
+	}
+	found := false
+	for _, s := range f.Body {
+		if _, ok := s.(*If); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing If statement")
+	}
+}
+
+func TestBuildLE(t *testing.T) {
+	src := `int A[10]; void f() { int i; for (i = 0; i <= 9; i++) { A[i] = i; } }`
+	_, f := mustBuild(t, src, "f")
+	loop := f.Body[0].(*For)
+	to := FoldExpr(loop.To)
+	c, ok := to.(*Const)
+	if !ok || c.Val != 10 {
+		t.Errorf("<=9 normalizes to To=%s, want 10", ExprString(to))
+	}
+}
+
+func TestBuildRejectsWhile(t *testing.T) {
+	src := `void f(int n, int* o) { int s; s = 0; while (n > 0) { n = n - 1; } *o = s; }`
+	_, _, err := BuildFunc(src, "f")
+	if err == nil || !strings.Contains(err.Error(), "while") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBuildInlining(t *testing.T) {
+	src := `
+int sq(int x) { return x * x; }
+void f(int a, int* o) { *o = sq(a) + sq(a + 1); }
+`
+	p, f := mustBuild(t, src, "f")
+	// Inlined: evaluating must give a^2 + (a+1)^2.
+	env := NewEnv()
+	outs, err := RunProgramFunc(p, f, env, []int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 9+16 {
+		t.Errorf("out = %d, want 25", outs[0])
+	}
+}
+
+func TestBuildConstArrayToRom(t *testing.T) {
+	src := `
+const int16 tab[4] = {5, 6, 7, 8};
+void f(uint2 i, int16* o) { *o = tab[i]; }
+`
+	p, f := mustBuild(t, src, "f")
+	if len(p.Roms) != 1 || p.Roms[0].Size != 4 {
+		t.Fatalf("roms = %+v", p.Roms)
+	}
+	env := NewEnv()
+	outs, err := RunProgramFunc(p, f, env, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 7 {
+		t.Errorf("tab[2] = %d", outs[0])
+	}
+}
+
+func TestBuildEvalMatchesCCInterp(t *testing.T) {
+	// The HIR evaluator and the C interpreter must agree on if_else for
+	// a sweep of inputs.
+	file, err := cc.Parse(ifElseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cc.Analyze(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := cc.NewInterp(info)
+	p, f := mustBuild(t, ifElseSource, "if_else")
+	for x1 := int64(-20); x1 <= 20; x1 += 3 {
+		for x2 := int64(-20); x2 <= 20; x2 += 7 {
+			_, ccOuts, err := ip.Call("if_else", x1, x2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := NewEnv()
+			hirOuts, err := RunProgramFunc(p, f, env, []int64{x1, x2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ccOuts[0] != hirOuts[0] || ccOuts[1] != hirOuts[1] {
+				t.Fatalf("(%d,%d): cc=(%d,%d) hir=(%d,%d)", x1, x2,
+					ccOuts[0], ccOuts[1], hirOuts[0], hirOuts[1])
+			}
+		}
+	}
+}
+
+func TestBuildFIRSemantics(t *testing.T) {
+	p, f := mustBuild(t, firSource, "fir")
+	env := NewEnv()
+	a := p.Array("A")
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = int64(2*i - 5)
+	}
+	env.BindArray(a, in)
+	if _, err := RunProgramFunc(p, f, env, nil); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Array("C")
+	for i := 0; i < 17; i++ {
+		want := 3*in[i] + 5*in[i+1] + 7*in[i+2] + 9*in[i+3] - in[i+4]
+		if got := env.Arrays[c][i]; got != want {
+			t.Errorf("C[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBuild2D(t *testing.T) {
+	src := `
+int img[8][8];
+int out[8][8];
+void f() {
+	int i; int j;
+	for (i = 1; i < 7; i++)
+		for (j = 1; j < 7; j++)
+			out[i][j] = img[i-1][j] + img[i+1][j] + img[i][j-1] + img[i][j+1];
+}
+`
+	p, f := mustBuild(t, src, "f")
+	env := NewEnv()
+	img := p.Array("img")
+	in := make([]int64, 64)
+	for i := range in {
+		in[i] = int64(i * i % 37)
+	}
+	env.BindArray(img, in)
+	if _, err := RunProgramFunc(p, f, env, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Array("out")
+	for i := 1; i < 7; i++ {
+		for j := 1; j < 7; j++ {
+			want := in[(i-1)*8+j] + in[(i+1)*8+j] + in[i*8+j-1] + in[i*8+j+1]
+			if got := env.Arrays[out][i*8+j]; got != want {
+				t.Errorf("out[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}

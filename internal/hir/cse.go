@@ -1,0 +1,265 @@
+package hir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// cse.go implements local value numbering over linearized regions —
+// ROCCC's common-subexpression elimination. Combined with Linearize and
+// DCE it removes redundant operators from the data path.
+
+// CSE performs local value numbering on every straight-line region of f.
+// The function should be linearized first (CSE calls Linearize itself
+// for convenience). Returns the number of replaced right-hand sides.
+func CSE(f *Func) int {
+	Linearize(f)
+	n := 0
+	f.Body = cseRegion(f.Body, &n)
+	return n
+}
+
+type vnState struct {
+	varVN  map[*Var]int
+	exprVN map[string]int
+	repOf  map[int]*Var // value number -> variable currently holding it
+	next   int
+}
+
+func newVNState() *vnState {
+	return &vnState{varVN: map[*Var]int{}, exprVN: map[string]int{}, repOf: map[int]*Var{}}
+}
+
+func (st *vnState) fresh() int {
+	st.next++
+	return st.next
+}
+
+// vnOfVar returns the current value number of v, creating one if the
+// variable is seen for the first time (an input value).
+func (st *vnState) vnOfVar(v *Var) int {
+	if vn, ok := st.varVN[v]; ok {
+		return vn
+	}
+	vn := st.fresh()
+	st.varVN[v] = vn
+	st.repOf[vn] = v
+	return vn
+}
+
+// valid reports whether rep still holds value number vn.
+func (st *vnState) valid(rep *Var, vn int) bool {
+	return rep != nil && st.varVN[rep] == vn
+}
+
+var commutative = map[Op]bool{
+	OpAdd: true, OpMul: true, OpAnd: true, OpOr: true, OpXor: true,
+	OpEq: true, OpNe: true, OpLAnd: true, OpLOr: true,
+}
+
+// keyOf builds the canonical value-numbering key for a linearized
+// expression; ok is false when the expression must not be numbered
+// (memory loads and anything unrecognized).
+func (st *vnState) keyOf(e Expr) (string, bool) {
+	switch e := e.(type) {
+	case *Const:
+		return fmt.Sprintf("c%d:%s", e.Val, e.Typ), true
+	case *VarRef:
+		return fmt.Sprintf("v%d", st.vnOfVar(e.Var)), true
+	case *LoadPrev:
+		// LPR reads the feedback latch, constant within one iteration.
+		return fmt.Sprintf("lpr:%p", e.Var), true
+	case *LutRef:
+		k, ok := st.keyOf(e.Idx)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("lut:%s[%s]", e.Rom.Name, k), true
+	case *Un:
+		k, ok := st.keyOf(e.X)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("u%d:%s:%s", e.Op, k, e.Typ), true
+	case *Bin:
+		kx, okx := st.keyOf(e.X)
+		ky, oky := st.keyOf(e.Y)
+		if !okx || !oky {
+			return "", false
+		}
+		if commutative[e.Op] && ky < kx {
+			kx, ky = ky, kx
+		}
+		return fmt.Sprintf("b%d:%s:%s:%s", e.Op, kx, ky, e.Typ), true
+	case *Sel:
+		kc, okc := st.keyOf(e.Cond)
+		kt, okt := st.keyOf(e.Then)
+		ke, oke := st.keyOf(e.Else)
+		if !okc || !okt || !oke {
+			return "", false
+		}
+		return fmt.Sprintf("s:%s?%s:%s:%s", kc, kt, ke, e.Typ), true
+	case *Cast:
+		k, ok := st.keyOf(e.X)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("cast:%s:%s", k, e.Typ), true
+	default:
+		return "", false
+	}
+}
+
+func cseRegion(list []Stmt, replaced *int) []Stmt {
+	st := newVNState()
+	var out []Stmt
+	for _, s := range list {
+		switch s := s.(type) {
+		case *Assign:
+			key, ok := st.keyOf(s.Src)
+			if !ok {
+				// Unnumberable RHS (memory load): dst gets a fresh value.
+				st.varVN[s.Dst] = st.fresh()
+				st.repOf[st.varVN[s.Dst]] = s.Dst
+				out = append(out, s)
+				continue
+			}
+			if vn, seen := st.exprVN[key]; seen {
+				if rep := st.repOf[vn]; st.valid(rep, vn) && rep != s.Dst {
+					if _, already := s.Src.(*VarRef); !already {
+						s.Src = &VarRef{Var: rep}
+						*replaced++
+					}
+				}
+				st.varVN[s.Dst] = vn
+				out = append(out, s)
+				continue
+			}
+			vn := st.fresh()
+			st.exprVN[key] = vn
+			st.varVN[s.Dst] = vn
+			st.repOf[vn] = s.Dst
+			out = append(out, s)
+		case *StoreNext:
+			// The feedback write changes the variable's software value.
+			vn := st.fresh()
+			st.varVN[s.Var] = vn
+			st.repOf[vn] = s.Var
+			out = append(out, s)
+		case *If:
+			// Branch bodies are separate regions; state after the If is
+			// conservatively reset for variables assigned inside.
+			s.Then = cseRegion(s.Then, replaced)
+			s.Else = cseRegion(s.Else, replaced)
+			killAssigned(st, s.Then)
+			killAssigned(st, s.Else)
+			out = append(out, s)
+		case *For:
+			s.Body = cseRegion(s.Body, replaced)
+			killAssigned(st, s.Body)
+			st.varVN[s.Var] = st.fresh()
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func killAssigned(st *vnState, body []Stmt) {
+	assigned := AssignedVars(body)
+	vars := make([]*Var, 0, len(assigned))
+	for v := range assigned {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	for _, v := range vars {
+		vn := st.fresh()
+		st.varVN[v] = vn
+		st.repOf[vn] = v
+	}
+}
+
+// CopyProp replaces reads of variables whose defining assignment in the
+// same region is a plain copy (t = v) or constant (t = c), enabling DCE
+// to drop the copies. Returns the number of replaced uses.
+func CopyProp(f *Func) int {
+	n := 0
+	f.Body = copyPropRegion(f.Body, &n)
+	return n
+}
+
+func copyPropRegion(list []Stmt, n *int) []Stmt {
+	// binding: var -> replacement leaf expression currently valid.
+	binding := map[*Var]Expr{}
+	kill := func(v *Var) {
+		delete(binding, v)
+		// Any binding whose value reads v is stale.
+		for dst, repl := range binding {
+			if ref, ok := repl.(*VarRef); ok && ref.Var == v {
+				delete(binding, dst)
+			}
+		}
+	}
+	substitute := func(e Expr) Expr {
+		return visitExpr(e, func(x Expr) Expr {
+			if ref, ok := x.(*VarRef); ok {
+				if repl, ok2 := binding[ref.Var]; ok2 {
+					*n++
+					return CloneExpr(repl)
+				}
+			}
+			return x
+		})
+	}
+	var out []Stmt
+	for _, s := range list {
+		switch s := s.(type) {
+		case *Assign:
+			s.Src = substitute(s.Src)
+			kill(s.Dst)
+			switch src := s.Src.(type) {
+			case *VarRef:
+				if src.Var != s.Dst && s.Dst.Type == src.Var.Type {
+					binding[s.Dst] = src
+				}
+			case *Const:
+				if src.Typ == s.Dst.Type {
+					binding[s.Dst] = src
+				}
+			}
+			out = append(out, s)
+		case *StoreNext:
+			s.Src = substitute(s.Src)
+			kill(s.Var) // the feedback write changes the software value
+			out = append(out, s)
+		case *Store:
+			for i := range s.Idx {
+				s.Idx[i] = substitute(s.Idx[i])
+			}
+			s.Src = substitute(s.Src)
+			out = append(out, s)
+		case *If:
+			s.Cond = substitute(s.Cond)
+			s.Then = copyPropRegion(s.Then, n)
+			s.Else = copyPropRegion(s.Else, n)
+			for v := range AssignedVars(s.Then) {
+				kill(v)
+			}
+			for v := range AssignedVars(s.Else) {
+				kill(v)
+			}
+			out = append(out, s)
+		case *For:
+			s.Body = copyPropRegion(s.Body, n)
+			for v := range AssignedVars(s.Body) {
+				kill(v)
+			}
+			kill(s.Var)
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package hir
+
+import (
+	"fmt"
+)
+
+// Env is the mutable state an HIR evaluation runs against: scalar values
+// per variable and flattened storage per array. It is the software
+// reference used to show transformations preserve semantics.
+type Env struct {
+	Vars   map[*Var]int64
+	Arrays map[*Array][]int64
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{Vars: map[*Var]int64{}, Arrays: map[*Array][]int64{}}
+}
+
+// BindArray installs storage for arr (copied).
+func (env *Env) BindArray(arr *Array, vals []int64) {
+	cp := make([]int64, arr.Len())
+	copy(cp, vals)
+	env.Arrays[arr] = cp
+}
+
+// RunFunc evaluates f's body in env. Globals and feedback variables keep
+// their current env values (initialize with v.Init for a cold start);
+// parameter values must be pre-set in env.Vars.
+func RunFunc(f *Func, env *Env) error {
+	return runStmts(f.Body, env)
+}
+
+// RunProgramFunc initializes globals to their declared init values, binds
+// f's parameters to args and runs it, returning output values in
+// f.Outs order.
+func RunProgramFunc(p *Program, f *Func, env *Env, args []int64) ([]int64, error) {
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("hir: %s takes %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	for _, g := range p.Globals {
+		if _, ok := env.Vars[g]; !ok {
+			env.Vars[g] = g.Init
+		}
+	}
+	for _, arr := range p.Arrays {
+		if _, ok := env.Arrays[arr]; !ok {
+			env.Arrays[arr] = make([]int64, arr.Len())
+		}
+	}
+	for i, prm := range f.Params {
+		env.Vars[prm] = prm.Type.Wrap(args[i])
+	}
+	if err := RunFunc(f, env); err != nil {
+		return nil, err
+	}
+	outs := make([]int64, len(f.Outs))
+	for i, o := range f.Outs {
+		outs[i] = env.Vars[o]
+	}
+	return outs, nil
+}
+
+func runStmts(list []Stmt, env *Env) error {
+	for _, s := range list {
+		if err := runStmt(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runStmt(s Stmt, env *Env) error {
+	switch s := s.(type) {
+	case *Assign:
+		v, err := Eval(s.Src, env)
+		if err != nil {
+			return err
+		}
+		env.Vars[s.Dst] = s.Dst.Type.Wrap(v)
+		return nil
+	case *StoreNext:
+		// In software the feedback store is an ordinary assignment.
+		v, err := Eval(s.Src, env)
+		if err != nil {
+			return err
+		}
+		env.Vars[s.Var] = s.Var.Type.Wrap(v)
+		return nil
+	case *Store:
+		v, err := Eval(s.Src, env)
+		if err != nil {
+			return err
+		}
+		arr, off, err := arrayOffset(s.Arr, s.Idx, env)
+		if err != nil {
+			return err
+		}
+		arr[off] = s.Arr.Elem.Wrap(v)
+		return nil
+	case *If:
+		c, err := Eval(s.Cond, env)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return runStmts(s.Then, env)
+		}
+		return runStmts(s.Else, env)
+	case *For:
+		from, err := Eval(s.From, env)
+		if err != nil {
+			return err
+		}
+		for i := from; ; i += s.Step {
+			env.Vars[s.Var] = s.Var.Type.Wrap(i)
+			to, err := Eval(s.To, env)
+			if err != nil {
+				return err
+			}
+			if i >= to {
+				return nil
+			}
+			if err := runStmts(s.Body, env); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("hir: eval: unexpected statement %T", s)
+	}
+}
+
+func arrayOffset(a *Array, idx []Expr, env *Env) ([]int64, int, error) {
+	arr, ok := env.Arrays[a]
+	if !ok {
+		arr = make([]int64, a.Len())
+		env.Arrays[a] = arr
+	}
+	off := int64(0)
+	for d, ix := range idx {
+		v, err := Eval(ix, env)
+		if err != nil {
+			return nil, 0, err
+		}
+		if d == 0 && len(idx) == 2 {
+			off = v * int64(a.Dims[1])
+		} else {
+			off += v
+		}
+	}
+	if off < 0 || off >= int64(len(arr)) {
+		return nil, 0, fmt.Errorf("hir: eval: index %d out of range for %s", off, a)
+	}
+	return arr, int(off), nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Eval evaluates an expression in env.
+func Eval(e Expr, env *Env) (int64, error) {
+	switch e := e.(type) {
+	case *Const:
+		return e.Val, nil
+	case *VarRef:
+		return env.Vars[e.Var], nil
+	case *LoadPrev:
+		return env.Vars[e.Var], nil
+	case *Load:
+		arr, off, err := arrayOffset(e.Arr, e.Idx, env)
+		if err != nil {
+			return 0, err
+		}
+		return arr[off], nil
+	case *LutRef:
+		ix, err := Eval(e.Idx, env)
+		if err != nil {
+			return 0, err
+		}
+		if ix < 0 || ix >= int64(e.Rom.Size) {
+			return 0, fmt.Errorf("hir: eval: ROM index %d out of range for %s", ix, e.Rom.Name)
+		}
+		return e.Rom.Content[ix], nil
+	case *Un:
+		x, err := Eval(e.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpNeg:
+			return e.Typ.Wrap(-x), nil
+		case OpNot:
+			return e.Typ.Wrap(^x), nil
+		case OpLNot:
+			return b2i(x == 0), nil
+		}
+		return 0, fmt.Errorf("hir: eval: unary %s", e.Op)
+	case *Bin:
+		x, err := Eval(e.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := Eval(e.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		return evalBin(e, x, y)
+	case *Sel:
+		c, err := Eval(e.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			v, err := Eval(e.Then, env)
+			if err != nil {
+				return 0, err
+			}
+			return e.Typ.Wrap(v), nil
+		}
+		v, err := Eval(e.Else, env)
+		if err != nil {
+			return 0, err
+		}
+		return e.Typ.Wrap(v), nil
+	case *Cast:
+		v, err := Eval(e.X, env)
+		if err != nil {
+			return 0, err
+		}
+		return e.Typ.Wrap(v), nil
+	default:
+		return 0, fmt.Errorf("hir: eval: unexpected expression %T", e)
+	}
+}
+
+func evalBin(e *Bin, x, y int64) (int64, error) {
+	t := e.Typ
+	switch e.Op {
+	case OpAdd:
+		return t.Wrap(x + y), nil
+	case OpSub:
+		return t.Wrap(x - y), nil
+	case OpMul:
+		return t.Wrap(x * y), nil
+	case OpDiv:
+		if y == 0 {
+			return 0, fmt.Errorf("hir: eval: division by zero")
+		}
+		return t.Wrap(x / y), nil
+	case OpRem:
+		if y == 0 {
+			return 0, fmt.Errorf("hir: eval: modulo by zero")
+		}
+		return t.Wrap(x % y), nil
+	case OpAnd:
+		return t.Wrap(x & y), nil
+	case OpOr:
+		return t.Wrap(x | y), nil
+	case OpXor:
+		return t.Wrap(x ^ y), nil
+	case OpShl:
+		return t.Wrap(x << uint(y&63)), nil
+	case OpShr:
+		xt := e.X.Type()
+		if !xt.Signed {
+			ux := uint64(x) & (uint64(1)<<uint(xt.Bits) - 1)
+			return t.Wrap(int64(ux >> uint(y&63))), nil
+		}
+		return t.Wrap(x >> uint(y&63)), nil
+	case OpLt:
+		return b2i(x < y), nil
+	case OpLe:
+		return b2i(x <= y), nil
+	case OpGt:
+		return b2i(x > y), nil
+	case OpGe:
+		return b2i(x >= y), nil
+	case OpEq:
+		return b2i(x == y), nil
+	case OpNe:
+		return b2i(x != y), nil
+	case OpLAnd:
+		return b2i(x != 0 && y != 0), nil
+	case OpLOr:
+		return b2i(x != 0 || y != 0), nil
+	}
+	return 0, fmt.Errorf("hir: eval: binary %s", e.Op)
+}

@@ -1,0 +1,307 @@
+package hir
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustKernel(t *testing.T, src, name string) (*Program, *Kernel) {
+	t.Helper()
+	p, f, err := BuildFunc(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ExtractKernel(p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, k
+}
+
+// TestScalarReplacementFIR reproduces Fig. 3: the 5-tap FIR loop becomes
+// a 5-input, 1-output pure data-path function plus a window access
+// pattern.
+func TestScalarReplacementFIR(t *testing.T) {
+	_, k := mustKernel(t, firSource, "fir")
+	if len(k.Reads) != 1 {
+		t.Fatalf("reads = %d, want 1", len(k.Reads))
+	}
+	w := k.Reads[0]
+	if w.Arr.Name != "A" || len(w.Elems) != 5 {
+		t.Fatalf("window = %s with %d elements, want A with 5", w.Arr.Name, len(w.Elems))
+	}
+	lo, extent := w.Span(0)
+	if lo != 0 || extent != 5 {
+		t.Errorf("window span = (%d,%d), want (0,5)", lo, extent)
+	}
+	if len(k.Writes) != 1 || len(k.Writes[0].Elems) != 1 {
+		t.Fatalf("writes = %+v", k.Writes)
+	}
+	if len(k.DP.Params) != 5 {
+		t.Errorf("dp inputs = %d, want 5 (A0..A4)", len(k.DP.Params))
+	}
+	if k.DP.Params[0].Name != "A0" || k.DP.Params[4].Name != "A4" {
+		t.Errorf("dp input names = %v..%v", k.DP.Params[0].Name, k.DP.Params[4].Name)
+	}
+	if len(k.DP.Outs) != 1 || !strings.HasPrefix(k.DP.Outs[0].Name, "Tmp") {
+		t.Errorf("dp outputs = %+v", k.DP.Outs)
+	}
+	if len(k.Feedback) != 0 {
+		t.Errorf("FIR has no feedback, found %d", len(k.Feedback))
+	}
+	if k.Nest.Depth() != 1 || k.Nest.Trips(0) != 17 {
+		t.Errorf("nest = %+v", k.Nest)
+	}
+	// The exported function must be memory- and loop-free: evaluate it.
+	env := NewEnv()
+	in := []int64{1, 2, 3, 4, 5}
+	for i, p := range k.DP.Params {
+		env.Vars[p] = in[i]
+	}
+	if err := RunFunc(k.DP, env); err != nil {
+		t.Fatal(err)
+	}
+	want := 3*1 + 5*2 + 7*3 + 9*4 - 5
+	if got := env.Vars[k.DP.Outs[0]]; got != int64(want) {
+		t.Errorf("dp(1..5) = %d, want %d", got, want)
+	}
+}
+
+// TestScalarReplacementAccumulator reproduces Fig. 4: sum is detected as
+// feedback, reads become LoadPrev, the write becomes StoreNext, and the
+// new value is exported.
+func TestScalarReplacementAccumulator(t *testing.T) {
+	_, k := mustKernel(t, accumSource, "accum")
+	if len(k.Feedback) != 1 {
+		t.Fatalf("feedback vars = %d, want 1", len(k.Feedback))
+	}
+	fb := k.Feedback[0]
+	if fb.Var.Name != "sum" || fb.Init != 0 {
+		t.Errorf("feedback = %s init %d", fb.Var.Name, fb.Init)
+	}
+	// The DP body must contain LoadPrev and StoreNext on sum.
+	text := FuncString(k.DP)
+	if !strings.Contains(text, "ROCCC_load_prev(sum)") {
+		t.Errorf("missing LoadPrev:\n%s", text)
+	}
+	if !strings.Contains(text, "ROCCC_store2next(sum") {
+		t.Errorf("missing StoreNext:\n%s", text)
+	}
+	// Simulate three iterations: 10, 20, 30 must accumulate.
+	env := NewEnv()
+	env.Vars[fb.Var] = fb.Init
+	total := int64(0)
+	for _, v := range []int64{10, 20, 30} {
+		env.Vars[k.DP.Params[0]] = v
+		if err := RunFunc(k.DP, env); err != nil {
+			t.Fatal(err)
+		}
+		total += v
+		if got := env.Vars[fb.Out]; got != total {
+			t.Errorf("after feeding %d: out = %d, want %d", v, got, total)
+		}
+	}
+}
+
+// TestScalarReplacementCombinational: a loop-free kernel (Fig. 5) passes
+// through unchanged.
+func TestScalarReplacementCombinational(t *testing.T) {
+	_, k := mustKernel(t, ifElseSource, "if_else")
+	if k.Nest.Depth() != 0 {
+		t.Errorf("nest depth = %d, want 0", k.Nest.Depth())
+	}
+	if len(k.Reads)+len(k.Writes) != 0 {
+		t.Errorf("combinational kernel has windows: %d reads %d writes", len(k.Reads), len(k.Writes))
+	}
+	if len(k.DP.Params) != 2 || len(k.DP.Outs) != 2 {
+		t.Errorf("dp ports: %d in %d out", len(k.DP.Params), len(k.DP.Outs))
+	}
+}
+
+// TestScalarReplacementConditionalFeedback covers the mul_acc pattern:
+// feedback updated under a condition (new-data flag).
+func TestScalarReplacementConditionalFeedback(t *testing.T) {
+	src := `
+int acc;
+void mul_acc(int12 a, int12 b, uint1 nd) {
+	int i;
+	acc = 0;
+	for (i = 0; i < 16; i++) {
+		if (nd) {
+			acc = acc + a * b;
+		}
+	}
+}
+`
+	_, k := mustKernel(t, src, "mul_acc")
+	if len(k.Feedback) != 1 {
+		t.Fatalf("feedback = %d, want 1 (acc)", len(k.Feedback))
+	}
+	// nd=1: accumulates; nd=0: holds.
+	env := NewEnv()
+	fb := k.Feedback[0]
+	env.Vars[fb.Var] = 0
+	set := func(name string, v int64) {
+		for _, p := range k.DP.Params {
+			if p.Name == name {
+				env.Vars[p] = v
+				return
+			}
+		}
+		t.Fatalf("no dp param %q", name)
+	}
+	set("a", 3)
+	set("b", 4)
+	set("nd", 1)
+	if err := RunFunc(k.DP, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Vars[fb.Out] != 12 {
+		t.Errorf("acc after nd=1: %d, want 12", env.Vars[fb.Out])
+	}
+	set("nd", 0)
+	if err := RunFunc(k.DP, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Vars[fb.Out] != 12 {
+		t.Errorf("acc after nd=0: %d, want 12 (hold)", env.Vars[fb.Out])
+	}
+}
+
+func TestScalarReplacement2DWindow(t *testing.T) {
+	src := `
+int img[16][16];
+int out[14][16];
+void vsum() {
+	int i; int j;
+	for (i = 0; i < 14; i++)
+		for (j = 0; j < 16; j++)
+			out[i][j] = img[i][j] + img[i+1][j] + img[i+2][j];
+}
+`
+	_, k := mustKernel(t, src, "vsum")
+	if k.Nest.Depth() != 2 {
+		t.Fatalf("nest depth = %d", k.Nest.Depth())
+	}
+	w := k.Reads[0]
+	if len(w.Elems) != 3 {
+		t.Fatalf("window elems = %d, want 3", len(w.Elems))
+	}
+	lo0, ext0 := w.Span(0)
+	lo1, ext1 := w.Span(1)
+	if lo0 != 0 || ext0 != 3 || lo1 != 0 || ext1 != 1 {
+		t.Errorf("spans = (%d,%d) (%d,%d), want (0,3) (0,1)", lo0, ext0, lo1, ext1)
+	}
+}
+
+func TestScalarReplacementStrideWindows(t *testing.T) {
+	// DCT-like: stride-8 windows (loop step 8), eight reads and eight
+	// writes per iteration.
+	src := `
+int X[64]; int Y[64];
+void blk() {
+	int i;
+	for (i = 0; i < 64; i = i + 8) {
+		Y[i]   = X[i] + X[i+7];
+		Y[i+1] = X[i+1] + X[i+6];
+		Y[i+2] = X[i+2] + X[i+5];
+		Y[i+3] = X[i+3] + X[i+4];
+		Y[i+4] = X[i+3] - X[i+4];
+		Y[i+5] = X[i+2] - X[i+5];
+		Y[i+6] = X[i+1] - X[i+6];
+		Y[i+7] = X[i] - X[i+7];
+	}
+}
+`
+	_, k := mustKernel(t, src, "blk")
+	if len(k.Reads[0].Elems) != 8 {
+		t.Errorf("read window = %d elems, want 8", len(k.Reads[0].Elems))
+	}
+	if len(k.Writes[0].Elems) != 8 {
+		t.Errorf("write elems = %d, want 8", len(k.Writes[0].Elems))
+	}
+	if k.Nest.Step[0] != 8 {
+		t.Errorf("step = %d", k.Nest.Step[0])
+	}
+}
+
+func TestScalarReplacementIVUse(t *testing.T) {
+	src := `
+int A[8]; int B[8];
+void f() {
+	int i;
+	for (i = 0; i < 8; i++) { B[i] = A[i] + i; }
+}
+`
+	_, k := mustKernel(t, src, "f")
+	if len(k.IVInputs) != 1 {
+		t.Fatalf("IV inputs = %d, want 1", len(k.IVInputs))
+	}
+}
+
+func TestScalarReplacementRejectsNonAffine(t *testing.T) {
+	src := `
+int A[64]; int B[8];
+void f() {
+	int i;
+	for (i = 0; i < 8; i++) { B[i] = A[i*i]; }
+}
+`
+	p, f, err := BuildFunc(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractKernel(p, f); err == nil {
+		t.Error("expected non-affine rejection")
+	}
+}
+
+func TestScalarReplacementSharedTaps(t *testing.T) {
+	// The same element referenced twice maps to one window tap.
+	src := `
+int A[9]; int B[8];
+void f() {
+	int i;
+	for (i = 0; i < 8; i++) { B[i] = A[i]*A[i] + A[i+1]; }
+}
+`
+	_, k := mustKernel(t, src, "f")
+	if len(k.Reads[0].Elems) != 2 {
+		t.Errorf("window elems = %d, want 2 (A[i] shared)", len(k.Reads[0].Elems))
+	}
+}
+
+func TestDecomposeAffine(t *testing.T) {
+	iv := &Var{Name: "i", Type: IntType{Bits: 32, Signed: true}, Kind: VarLoop}
+	lv := map[*Var]bool{iv: true}
+	mk := func(e Expr) Affine {
+		a, ok := DecomposeAffine(e, lv)
+		if !ok {
+			t.Fatalf("not affine: %s", ExprString(e))
+		}
+		return a
+	}
+	t32 := IntType{Bits: 32, Signed: true}
+	ref := func() Expr { return &VarRef{Var: iv} }
+	// i + 3
+	a := mk(&Bin{Op: OpAdd, X: ref(), Y: &Const{Val: 3, Typ: t32}, Typ: t32})
+	if a.Scale != 1 || a.Offset != 3 {
+		t.Errorf("i+3 = %+v", a)
+	}
+	// 2*i - 1
+	a = mk(&Bin{Op: OpSub,
+		X: &Bin{Op: OpMul, X: &Const{Val: 2, Typ: t32}, Y: ref(), Typ: t32},
+		Y: &Const{Val: 1, Typ: t32}, Typ: t32})
+	if a.Scale != 2 || a.Offset != -1 {
+		t.Errorf("2i-1 = %+v", a)
+	}
+	// i << 2
+	a = mk(&Bin{Op: OpShl, X: ref(), Y: &Const{Val: 2, Typ: t32}, Typ: t32})
+	if a.Scale != 4 {
+		t.Errorf("i<<2 = %+v", a)
+	}
+	// i*i is not affine
+	if _, ok := DecomposeAffine(&Bin{Op: OpMul, X: ref(), Y: ref(), Typ: t32}, lv); ok {
+		t.Error("i*i reported affine")
+	}
+}

@@ -1,0 +1,71 @@
+package hir
+
+import "fmt"
+
+// stripmine.go implements loop strip-mining, one of ROCCC's
+// "FPGA-specific optimizations" (§2): a loop is split into an outer loop
+// over strips and a constant-bound inner loop that can be fully unrolled
+// to widen the data path to the memory bus.
+
+// StripMine splits a constant-bound, unit-step loop into strips of the
+// given width. The trip count must be a positive multiple of width. The
+// returned loop iterates over strip starts; its body holds the inner
+// (width-trip) loop.
+func StripMine(l *For, width int64) (*For, error) {
+	if width <= 1 {
+		return nil, fmt.Errorf("hir: strip width must be > 1")
+	}
+	if l.Step != 1 {
+		return nil, fmt.Errorf("hir: strip-mining requires a unit-step loop")
+	}
+	n, ok := TripCount(l)
+	if !ok {
+		return nil, fmt.Errorf("hir: cannot strip-mine %s: bounds are not constant", l.Var.Name)
+	}
+	if n == 0 || n%width != 0 {
+		return nil, fmt.Errorf("hir: trip count %d is not a positive multiple of strip width %d", n, width)
+	}
+	from := l.From.(*Const).Val
+	outerVar := &Var{Name: l.Var.Name + "_strip", Type: l.Var.Type, Kind: VarLoop}
+	inner := &For{
+		Var:  l.Var,
+		From: &VarRef{Var: outerVar},
+		To: &Bin{Op: OpAdd, X: &VarRef{Var: outerVar},
+			Y: &Const{Val: width, Typ: l.Var.Type}, Typ: l.Var.Type},
+		Step: 1,
+		Body: l.Body,
+	}
+	return &For{
+		Var:  outerVar,
+		From: &Const{Val: from, Typ: l.Var.Type},
+		To:   &Const{Val: from + n, Typ: l.Var.Type},
+		Step: width,
+		Body: []Stmt{inner},
+	}, nil
+}
+
+// StripMineAndUnroll strip-mines the loop and fully unrolls the inner
+// strip, producing a single loop whose body processes width elements per
+// iteration — the transformation ROCCC applies to match the data path
+// width to the memory bus width.
+func StripMineAndUnroll(l *For, width int64) (*For, error) {
+	outer, err := StripMine(l, width)
+	if err != nil {
+		return nil, err
+	}
+	inner := outer.Body[0].(*For)
+	// The inner loop runs from outerVar to outerVar+width with step 1;
+	// unroll it symbolically by substituting i -> strip + k.
+	var body []Stmt
+	for k := int64(0); k < width; k++ {
+		copyK := CloneStmts(inner.Body)
+		var iv Expr = &VarRef{Var: outer.Var}
+		if k > 0 {
+			iv = &Bin{Op: OpAdd, X: iv, Y: &Const{Val: k, Typ: outer.Var.Type}, Typ: outer.Var.Type}
+		}
+		SubstVar(copyK, inner.Var, iv)
+		body = append(body, copyK...)
+	}
+	outer.Body = foldStmts(body)
+	return outer, nil
+}

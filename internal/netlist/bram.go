@@ -1,0 +1,72 @@
+// Package netlist is the cycle-level system model of the paper's
+// execution model (Fig. 2): "An engine moves the data from off-chip to a
+// BRAM storage. The compiler-generated circuit accesses the arrays in
+// BRAM and stores the output data into another BRAM, from which an
+// engine retrieves data into the off-chip memory. Inside the
+// compiler-generated circuit, the data path is fully pipelined. The
+// controllers and buffers are in charge of feeding input data and
+// retrieving output data to and from the data path."
+package netlist
+
+import "fmt"
+
+// BRAM models an on-chip block RAM holding one array, one element per
+// address.
+type BRAM struct {
+	Name string
+	Data []int64
+	// ElemBits is the stored element width (for reporting only; values
+	// are wrapped by the producers).
+	ElemBits int
+	reads    int
+	writes   int
+}
+
+// NewBRAM allocates a block RAM of n elements.
+func NewBRAM(name string, n, elemBits int) *BRAM {
+	return &BRAM{Name: name, Data: make([]int64, n), ElemBits: elemBits}
+}
+
+// Load fills the BRAM from off-chip data (the engine's job).
+func (m *BRAM) Load(vals []int64) {
+	copy(m.Data, vals)
+}
+
+// Read returns the element at addr.
+func (m *BRAM) Read(addr int) (int64, error) {
+	if addr < 0 || addr >= len(m.Data) {
+		return 0, fmt.Errorf("netlist: %s: read address %d out of range [0,%d)", m.Name, addr, len(m.Data))
+	}
+	m.reads++
+	return m.Data[addr], nil
+}
+
+// Write stores v at addr.
+func (m *BRAM) Write(addr int, v int64) error {
+	if addr < 0 || addr >= len(m.Data) {
+		return fmt.Errorf("netlist: %s: write address %d out of range [0,%d)", m.Name, addr, len(m.Data))
+	}
+	m.writes++
+	m.Data[addr] = v
+	return nil
+}
+
+// Stats returns the access counters (reads, writes) — used to verify the
+// smart buffer's fetch-once property at system level.
+func (m *BRAM) Stats() (reads, writes int) { return m.reads, m.writes }
+
+// Engine models the off-chip transfer engine. Transfers are not on the
+// compute critical path (the paper double-buffers them); the engine
+// reports the cycles a transfer would take on a bus moving busElems
+// elements per cycle.
+type Engine struct {
+	BusElems int
+}
+
+// LoadCycles returns the cycle cost of moving n elements on-chip.
+func (e Engine) LoadCycles(n int) int {
+	if e.BusElems <= 0 {
+		return n
+	}
+	return (n + e.BusElems - 1) / e.BusElems
+}

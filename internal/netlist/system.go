@@ -1,0 +1,289 @@
+package netlist
+
+import (
+	"fmt"
+
+	"roccc/internal/ctrl"
+	"roccc/internal/dp"
+	"roccc/internal/hir"
+	"roccc/internal/smartbuf"
+)
+
+// System wires one compiled kernel into the Fig. 2 execution model:
+// input BRAMs feed smart buffers through read address generators, the
+// pipelined data path consumes one window set per cycle, and write
+// address generators place results into output BRAMs. A top-level
+// controller FSM sequences everything.
+type System struct {
+	Kernel   *hir.Kernel
+	Datapath *dp.Datapath
+
+	BusElems int
+
+	inBRAMs  map[string]*BRAM
+	outBRAMs map[string]*BRAM
+	buffers  []*smartbuf.Buffer
+	readGens []*ctrl.ReadGen
+	writes   []*writeBinding
+	ctl      *ctrl.Controller
+
+	// input assembly: position of each dp input port.
+	inputIndex map[*hir.Var]int
+	scalars    map[*hir.Var]int64
+
+	// fedLog mirrors the data-path valid pipeline for output harvesting.
+	fedLog []bool
+
+	cycles int
+}
+
+type writeBinding struct {
+	gen  *ctrl.WriteGen
+	bram *BRAM
+	// outIdx maps each write element to its dp output position.
+	outIdx []int
+}
+
+// Config for system construction.
+type Config struct {
+	// BusElems is the memory bus width in elements per cycle.
+	BusElems int
+	// Scalars provides values for kernel-level scalar parameters.
+	Scalars map[string]int64
+}
+
+// NewSystem builds the full system for a compiled kernel.
+func NewSystem(k *hir.Kernel, d *dp.Datapath, cfg Config) (*System, error) {
+	if cfg.BusElems <= 0 {
+		cfg.BusElems = 1
+	}
+	if k.Nest.Depth() == 0 {
+		return nil, fmt.Errorf("netlist: kernel %s has no loop nest; simulate its data path directly", k.Name)
+	}
+	sys := &System{
+		Kernel:     k,
+		Datapath:   d,
+		BusElems:   cfg.BusElems,
+		inBRAMs:    map[string]*BRAM{},
+		outBRAMs:   map[string]*BRAM{},
+		inputIndex: map[*hir.Var]int{},
+		scalars:    map[*hir.Var]int64{},
+	}
+	for i, p := range d.Inputs {
+		sys.inputIndex[p.Var] = i
+	}
+	outIndex := map[*hir.Var]int{}
+	for i, p := range d.Outputs {
+		outIndex[p.Var] = i
+	}
+	// Read side: one BRAM + address generator + smart buffer per window.
+	for _, w := range k.Reads {
+		bcfg, err := smartbuf.ConfigFor(w, &k.Nest, cfg.BusElems)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := smartbuf.New(bcfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.buffers = append(sys.buffers, buf)
+		sys.readGens = append(sys.readGens, ctrl.NewReadGen(w.Arr.Len(), cfg.BusElems))
+		sys.inBRAMs[w.Arr.Name] = NewBRAM(w.Arr.Name, w.Arr.Len(), w.Arr.Elem.Bits)
+	}
+	// Write side.
+	for _, acc := range k.Writes {
+		gen, err := ctrl.NewWriteGen(acc, &k.Nest)
+		if err != nil {
+			return nil, err
+		}
+		wb := &writeBinding{gen: gen, bram: NewBRAM(acc.Arr.Name, acc.Arr.Len(), acc.Arr.Elem.Bits)}
+		for _, e := range acc.Elems {
+			ix, ok := outIndex[e.Elem]
+			if !ok {
+				return nil, fmt.Errorf("netlist: write element %s has no dp output", e.Elem.Name)
+			}
+			wb.outIdx = append(wb.outIdx, ix)
+		}
+		sys.outBRAMs[acc.Arr.Name] = wb.bram
+		sys.writes = append(sys.writes, wb)
+	}
+	// Scalar parameters.
+	for _, prm := range k.ScalarParams {
+		v, ok := cfg.Scalars[prm.Name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: missing value for scalar parameter %q", prm.Name)
+		}
+		sys.scalars[prm] = v
+	}
+	total := int(k.Nest.TotalIterations())
+	sys.ctl = ctrl.NewController(total, d.Latency())
+	return sys, nil
+}
+
+// LoadInput preloads an input array's BRAM (the off-chip engine's load).
+func (s *System) LoadInput(name string, vals []int64) error {
+	m, ok := s.inBRAMs[name]
+	if !ok {
+		return fmt.Errorf("netlist: no input array %q", name)
+	}
+	m.Load(vals)
+	return nil
+}
+
+// Output returns the contents of an output BRAM after Run.
+func (s *System) Output(name string) ([]int64, error) {
+	m, ok := s.outBRAMs[name]
+	if !ok {
+		return nil, fmt.Errorf("netlist: no output array %q", name)
+	}
+	cp := make([]int64, len(m.Data))
+	copy(cp, m.Data)
+	return cp, nil
+}
+
+// Cycles returns the clock cycles consumed by Run.
+func (s *System) Cycles() int { return s.cycles }
+
+// FeedbackValue returns a feedback latch's final value (e.g. the
+// accumulator sum after the loop).
+func (s *System) FeedbackValue(sim *dp.Sim, name string) (int64, bool) {
+	for v, val := range sim.State {
+		if v.Name == name {
+			return val, true
+		}
+	}
+	return 0, false
+}
+
+// Run executes the whole kernel: it streams every array element from
+// BRAM through the smart buffers exactly once, pushes one iteration per
+// cycle into the data path when windows are ready, and writes results
+// back. It returns the data-path simulator (for feedback state) and the
+// consumed cycle count.
+func (s *System) Run() (*dp.Sim, error) {
+	sim := dp.NewSim(s.Datapath)
+	d := s.Datapath
+	k := s.Kernel
+	lat := d.Latency()
+	total := int(k.Nest.TotalIterations())
+	harvested := 0
+	iterOdo := newOdometer(&k.Nest)
+	limit := 4*total + 16*(lat+2) + 64
+	inputs := make([]int64, len(d.Inputs))
+
+	for harvested < total {
+		if s.cycles > limit {
+			return nil, fmt.Errorf("netlist: cycle limit exceeded (%d cycles, %d/%d outputs)", s.cycles, harvested, total)
+		}
+		// 1. Memory stage: each read port fetches up to BusElems
+		// elements and pushes them into its smart buffer.
+		for i, buf := range s.buffers {
+			gen := s.readGens[i]
+			if gen.Done() || !buf.CanAccept() {
+				continue // backpressure: window data still live
+			}
+			addrs := gen.Next()
+			word := make([]int64, len(addrs))
+			bram := s.inBRAMs[k.Reads[i].Arr.Name]
+			for j, a := range addrs {
+				v, err := bram.Read(a)
+				if err != nil {
+					return nil, err
+				}
+				word[j] = v
+			}
+			if err := buf.Push(word); err != nil {
+				return nil, err
+			}
+		}
+		// 2. Window readiness across every read port.
+		ready := true
+		for _, buf := range s.buffers {
+			if !buf.WindowReady() {
+				ready = false
+			}
+		}
+		feed := s.ctl.Tick(ready)
+		var outs []int64
+		var err error
+		if feed {
+			for j := range inputs {
+				inputs[j] = 0
+			}
+			for bi, buf := range s.buffers {
+				win, err := buf.PopWindow()
+				if err != nil {
+					return nil, err
+				}
+				for ei, e := range k.Reads[bi].Elems {
+					inputs[s.inputIndex[e.Elem]] = win[ei]
+				}
+			}
+			for lv, in := range k.IVInputs {
+				inputs[s.inputIndex[in]] = iterOdo.value(lv)
+			}
+			for prm, v := range s.scalars {
+				inputs[s.inputIndex[prm]] = v
+			}
+			iterOdo.advance()
+			s.fedLog = append(s.fedLog, true)
+			outs, err = sim.Step(inputs)
+		} else {
+			s.fedLog = append(s.fedLog, false)
+			outs, err = sim.Drain()
+		}
+		if err != nil {
+			return nil, err
+		}
+		// 3. Harvest: the outputs visible now belong to the iteration
+		// admitted lat cycles ago.
+		exit := s.cycles - lat
+		if exit >= 0 && exit < len(s.fedLog) && s.fedLog[exit] {
+			for _, wb := range s.writes {
+				addrs := wb.gen.Next()
+				if addrs == nil {
+					return nil, fmt.Errorf("netlist: write generator exhausted early")
+				}
+				for ei, a := range addrs {
+					if err := wb.bram.Write(a, outs[wb.outIdx[ei]]); err != nil {
+						return nil, err
+					}
+				}
+			}
+			s.ctl.Collect()
+			harvested++
+		}
+		s.cycles++
+	}
+	return sim, nil
+}
+
+// odometer walks the loop nest iteration space in row-major order,
+// mirroring the smart buffer's window order.
+type odometer struct {
+	nest *hir.LoopNest
+	iter []int64
+}
+
+func newOdometer(nest *hir.LoopNest) *odometer {
+	return &odometer{nest: nest, iter: make([]int64, nest.Depth())}
+}
+
+func (o *odometer) value(v *hir.Var) int64 {
+	for l, nv := range o.nest.Vars {
+		if nv == v {
+			return o.nest.From[l] + o.iter[l]*o.nest.Step[l]
+		}
+	}
+	return 0
+}
+
+func (o *odometer) advance() {
+	for l := o.nest.Depth() - 1; l >= 0; l-- {
+		o.iter[l]++
+		if o.iter[l] < o.nest.Trips(l) {
+			return
+		}
+		o.iter[l] = 0
+	}
+}

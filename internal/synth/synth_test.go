@@ -1,0 +1,170 @@
+package synth_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"roccc/internal/core"
+	"roccc/internal/synth"
+)
+
+func TestPrimitiveMonotonicity(t *testing.T) {
+	// Wider operators cost at least as much and are at least as slow.
+	for w := 1; w < 32; w++ {
+		if synth.AdderSlices(w+1) < synth.AdderSlices(w) {
+			t.Errorf("adder slices not monotone at %d", w)
+		}
+		if synth.AdderDelay(w+1) < synth.AdderDelay(w) {
+			t.Errorf("adder delay not monotone at %d", w)
+		}
+		if synth.RegSlices(w+1) < synth.RegSlices(w) {
+			t.Errorf("reg slices not monotone at %d", w)
+		}
+	}
+	for size := 16; size <= 1024; size *= 2 {
+		if synth.RomSlices(size*2, 16) < synth.RomSlices(size, 16) {
+			t.Errorf("rom slices not monotone at %d", size)
+		}
+		if synth.RomDelay(size*2) < synth.RomDelay(size) {
+			t.Errorf("rom delay not monotone at %d", size)
+		}
+	}
+}
+
+func TestHalfWaveSmaller(t *testing.T) {
+	if synth.HalfWaveRomSlices(1024, 16) >= synth.RomSlices(1024, 16) {
+		t.Error("half-wave ROM should be smaller than the full ROM")
+	}
+}
+
+// TestCSDDigitsCorrect verifies the canonical signed-digit count: the
+// CSD form never has two adjacent nonzero digits, and reconstructing any
+// c from ±2^k terms needs exactly synth.CSDDigits(c) terms.
+func TestCSDDigitsCorrect(t *testing.T) {
+	cases := map[int64]int{
+		0: 0, 1: 1, 2: 1, 3: 2, 5: 2, 7: 2, 9: 2, 15: 2, 255: 2,
+		2048: 1, 2009: 4,
+	}
+	for c, want := range cases {
+		if got := synth.CSDDigits(c); got != want {
+			t.Errorf("synth.CSDDigits(%d) = %d, want %d", c, got, want)
+		}
+	}
+	// Property: the CSD digit count never exceeds the plain popcount.
+	f := func(v uint16) bool {
+		c := int64(v)
+		pop := 0
+		for x := c; x != 0; x >>= 1 {
+			if x&1 != 0 {
+				pop++
+			}
+		}
+		d := synth.CSDDigits(c)
+		if c == 0 {
+			return d == 0
+		}
+		return d >= 1 && d <= pop
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockFromCapsAtDevice(t *testing.T) {
+	dv := synth.VirtexII2000
+	if got := dv.ClockFrom(0.5); got != dv.MaxMHz {
+		t.Errorf("tiny path clocks at %.0f, want cap %.0f", got, dv.MaxMHz)
+	}
+	if got := dv.ClockFrom(8.45); math.Abs(got-100) > 1 {
+		t.Errorf("8.45ns path = %.0f MHz, want ~100", got)
+	}
+}
+
+func TestSynthesizeReportFormat(t *testing.T) {
+	src := `void f(int12 a, int12 b, int24* o) { *o = a * b; }`
+	res, err := core.CompileSource(src, "f", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := synth.Synthesize(res.Datapath, synth.Options{})
+	if rep.Mult18s != 1 {
+		t.Errorf("12x12 multiply should claim one MULT18X18, got %d", rep.Mult18s)
+	}
+	out := rep.String()
+	for _, want := range []string{"xc2v2000-5", "MULT18X18", "clock:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWideMulFallsToLUTFabric(t *testing.T) {
+	src := `void f(unsigned int a, unsigned int b, unsigned int* o) { *o = a * b; }`
+	res, err := core.CompileSource(src, "f", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := synth.Synthesize(res.Datapath, synth.Options{})
+	if rep.Mult18s != 0 {
+		t.Error("32x32 multiply exceeds the MULT18X18")
+	}
+	if rep.Slices < 100 {
+		t.Errorf("32x32 LUT multiplier suspiciously small: %d slices", rep.Slices)
+	}
+}
+
+func TestDividerCostly(t *testing.T) {
+	src := `void f(int a, int b, int* o) { *o = a / b; }`
+	res, err := core.CompileSource(src, "f", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := synth.Synthesize(res.Datapath, synth.Options{})
+	if rep.Slices < 200 {
+		t.Errorf("variable 32-bit divider too cheap: %d slices", rep.Slices)
+	}
+	// Power-of-two division is wiring.
+	src2 := `void f(int a, int* o) { *o = a / 8; }`
+	res2, err := core.CompileSource(src2, "f", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := synth.Synthesize(res2.Datapath, synth.Options{})
+	if rep2.Slices > 40 {
+		t.Errorf("div-by-8 should be near-free, got %d slices", rep2.Slices)
+	}
+}
+
+func TestKCMVsCSD(t *testing.T) {
+	src := `void f(int8 a, int16* o) { *o = (int16)(9 * a); }`
+	res, err := core.CompileSource(src, "f", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csd := synth.Synthesize(res.Datapath, synth.Options{})
+	kcm := synth.Synthesize(res.Datapath, synth.Options{LUTMultipliers: true})
+	if kcm.Slices <= csd.Slices {
+		t.Errorf("LUT-style constant multiplier (%d) should cost more than CSD (%d)",
+			kcm.Slices, csd.Slices)
+	}
+}
+
+func TestEstimateFast(t *testing.T) {
+	src := `void f(int a, int b, int* o) { *o = a * 3 + b * 5 + (a - b); }`
+	res, err := core.CompileSource(src, "f", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, elapsed := synth.Estimate(res.Datapath, synth.Options{})
+	if elapsed.Milliseconds() >= 1 {
+		t.Errorf("estimate took %s, want < 1ms", elapsed)
+	}
+}
+
+func TestConstMultDelayGrowsWithDigits(t *testing.T) {
+	if synth.ConstMultDelay(2, 16) >= synth.ConstMultDelay(2009, 16) {
+		t.Error("4-digit constant should be slower than a power of two")
+	}
+}

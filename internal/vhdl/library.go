@@ -1,0 +1,144 @@
+package vhdl
+
+import (
+	"fmt"
+	"strings"
+
+	"roccc/internal/hir"
+	"roccc/internal/smartbuf"
+)
+
+// library.go renders the "pre-existing parameterized FSMs in a VHDL
+// library" of §4.1: smart buffers, address generators and the top-level
+// controller, plus the system wrapper that wires them to the data path
+// (the execution model of Fig. 2).
+
+// EmitSmartBuffer renders a smart buffer: a shift-register (1-D) or
+// line-buffer (2-D) structure with window-export logic.
+func EmitSmartBuffer(name string, cfg smartbuf.Config) File {
+	var b strings.Builder
+	b.WriteString("library IEEE;\nuse IEEE.std_logic_1164.all;\nuse IEEE.numeric_std.all;\n\n")
+	depth := cfg.StorageBits() / cfg.ElemBits
+	fmt.Fprintf(&b, "-- smart buffer: window %v, stride %v, %d taps, %d elements retained\n",
+		cfg.Extent, cfg.Stride, len(cfg.Taps), depth)
+	fmt.Fprintf(&b, "entity %s is\n  port (\n    clk : in std_logic;\n    rst : in std_logic;\n", name)
+	fmt.Fprintf(&b, "    din : in std_logic_vector(%d downto 0);\n", cfg.ElemBits*cfg.BusElems-1)
+	b.WriteString("    din_valid : in std_logic;\n    window_ready : out std_logic;\n")
+	for i := range cfg.Taps {
+		sep := ";"
+		if i == len(cfg.Taps)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    tap%d : out std_logic_vector(%d downto 0)%s\n", i, cfg.ElemBits-1, sep)
+	}
+	b.WriteString("  );\nend entity;\n\n")
+	fmt.Fprintf(&b, "architecture rtl of %s is\n", name)
+	fmt.Fprintf(&b, "  type line_t is array (0 to %d) of std_logic_vector(%d downto 0);\n", depth-1, cfg.ElemBits-1)
+	b.WriteString("  signal ring : line_t;\n  signal fill : integer range 0 to 65535;\nbegin\n")
+	b.WriteString("  shift: process(clk)\n  begin\n    if rising_edge(clk) then\n      if rst = '1' then\n        fill <= 0;\n      elsif din_valid = '1' then\n")
+	if depth > cfg.BusElems {
+		fmt.Fprintf(&b, "        ring(%d to %d) <= ring(%d to %d);\n", cfg.BusElems, depth-1, 0, depth-1-cfg.BusElems)
+	}
+	for i := 0; i < cfg.BusElems; i++ {
+		fmt.Fprintf(&b, "        ring(%d) <= din(%d downto %d);\n",
+			i, (i+1)*cfg.ElemBits-1, i*cfg.ElemBits)
+	}
+	fmt.Fprintf(&b, "        fill <= fill + %d;\n", cfg.BusElems)
+	b.WriteString("      end if;\n    end if;\n  end process;\n\n")
+	fmt.Fprintf(&b, "  window_ready <= '1' when fill >= %d else '0';\n", depth)
+	// Tap wiring: relative positions inside the retained region.
+	for i, tap := range cfg.Taps {
+		var idx int
+		if len(cfg.Extent) == 1 {
+			idx = int(tap[0]) - cfg.MinOff[0]
+		} else {
+			idx = (int(tap[0])-cfg.MinOff[0])*cfg.ArrayDims[1] + int(tap[1]) - cfg.MinOff[1]
+		}
+		// Newest element is ring(0); taps count back from the window end.
+		pos := depth - 1 - idx
+		if pos < 0 {
+			pos = 0
+		}
+		fmt.Fprintf(&b, "  tap%d <= ring(%d);\n", i, pos)
+	}
+	b.WriteString("end architecture;\n")
+	return File{Name: name + ".vhd", Content: b.String()}
+}
+
+// EmitAddressGenerator renders a sequential read address generator FSM.
+func EmitAddressGenerator(name string, total, busElems, addrBits int) File {
+	var b strings.Builder
+	b.WriteString("library IEEE;\nuse IEEE.std_logic_1164.all;\nuse IEEE.numeric_std.all;\n\n")
+	fmt.Fprintf(&b, "-- read address generator: %d elements, %d per cycle\n", total, busElems)
+	fmt.Fprintf(&b, "entity %s is\n  port (\n    clk : in std_logic;\n    rst : in std_logic;\n    enable : in std_logic;\n    addr : out std_logic_vector(%d downto 0);\n    valid : out std_logic;\n    done : out std_logic\n  );\nend entity;\n\n", name, addrBits-1)
+	fmt.Fprintf(&b, "architecture fsm of %s is\n", name)
+	fmt.Fprintf(&b, "  signal pos : unsigned(%d downto 0);\nbegin\n", addrBits-1)
+	b.WriteString("  step: process(clk)\n  begin\n    if rising_edge(clk) then\n      if rst = '1' then\n        pos <= (others => '0');\n")
+	fmt.Fprintf(&b, "      elsif enable = '1' and pos < %d then\n        pos <= pos + %d;\n", total, busElems)
+	b.WriteString("      end if;\n    end if;\n  end process;\n")
+	b.WriteString("  addr <= std_logic_vector(pos);\n")
+	fmt.Fprintf(&b, "  valid <= '1' when pos < %d else '0';\n", total)
+	fmt.Fprintf(&b, "  done <= '1' when pos >= %d else '0';\n", total)
+	b.WriteString("end architecture;\n")
+	return File{Name: name + ".vhd", Content: b.String()}
+}
+
+// EmitController renders the higher-level controller FSM (idle / fill /
+// stream / drain / done) that sequences the address generators and the
+// data path.
+func EmitController(name string, totalIters, latency int) File {
+	var b strings.Builder
+	b.WriteString("library IEEE;\nuse IEEE.std_logic_1164.all;\nuse IEEE.numeric_std.all;\n\n")
+	fmt.Fprintf(&b, "-- higher-level controller: %d iterations, data-path latency %d\n", totalIters, latency)
+	fmt.Fprintf(&b, "entity %s is\n  port (\n    clk : in std_logic;\n    rst : in std_logic;\n    window_ready : in std_logic;\n    feed : out std_logic;\n    done : out std_logic\n  );\nend entity;\n\n", name)
+	fmt.Fprintf(&b, "architecture fsm of %s is\n", name)
+	b.WriteString("  type state_t is (S_IDLE, S_FILL, S_STREAM, S_DRAIN, S_DONE);\n  signal state : state_t;\n  signal fed, collected : integer range 0 to 1048575;\nbegin\n")
+	b.WriteString(`  fsm: process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state <= S_IDLE;
+        fed <= 0;
+        collected <= 0;
+      else
+        case state is
+          when S_IDLE => state <= S_FILL;
+          when S_FILL | S_STREAM =>
+            if window_ready = '1' then
+              fed <= fed + 1;
+              state <= S_STREAM;
+            end if;
+`)
+	fmt.Fprintf(&b, "            if fed >= %d then state <= S_DRAIN; end if;\n", totalIters)
+	fmt.Fprintf(&b, "          when S_DRAIN =>\n            if collected >= %d then state <= S_DONE; end if;\n", totalIters)
+	b.WriteString("          when S_DONE => null;\n        end case;\n      end if;\n    end if;\n  end process;\n")
+	fmt.Fprintf(&b, "  feed <= '1' when (state = S_FILL or state = S_STREAM) and window_ready = '1' and fed < %d else '0';\n", totalIters)
+	b.WriteString("  done <= '1' when state = S_DONE else '0';\nend architecture;\n")
+	return File{Name: name + ".vhd", Content: b.String()}
+}
+
+// EmitKernel renders the full file set for a compiled kernel: data path,
+// ROM cores + init files, one smart buffer per read window, address
+// generators and the controller.
+func EmitKernel(k *hir.Kernel, files []File, cfgs []smartbuf.Config, latency int) []File {
+	for i, cfg := range cfgs {
+		name := fmt.Sprintf("%s_smartbuf_%s", k.Name, k.Reads[i].Arr.Name)
+		files = append(files, EmitSmartBuffer(name, cfg))
+		addrBits := 1
+		for 1<<uint(addrBits) < k.Reads[i].Arr.Len() {
+			addrBits++
+		}
+		files = append(files, EmitAddressGenerator(
+			fmt.Sprintf("%s_addrgen_%s", k.Name, k.Reads[i].Arr.Name),
+			k.Reads[i].Arr.Len(), cfg.BusElems, addrBits))
+	}
+	total := int(k.Nest.TotalIterations())
+	if total == 0 {
+		total = 1
+	}
+	files = append(files, EmitController(k.Name+"_ctrl", total, latency))
+	for _, r := range k.Roms {
+		files = append(files, RomInitFile(r))
+	}
+	return files
+}

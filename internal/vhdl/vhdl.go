@@ -1,0 +1,311 @@
+// Package vhdl implements §4.2.4 of the paper: RTL VHDL generation.
+// "ROCCC generates one VHDL component for each CFG node that goes to
+// hardware. In a node, every virtual register is single assigned and is
+// converted into wires in hardware. All arithmetic opcodes in SUIFvm
+// have corresponding functionality in IEEE 1076.3 VHDL with the
+// exception of division. Arithmetic, logic and copying instructions
+// become combinational or sequential VHDL statement according to whether
+// the instruction needs latched or not. A LUT instruction invokes an
+// instantiation of a lookup table component."
+package vhdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"roccc/internal/dp"
+	"roccc/internal/hir"
+	"roccc/internal/vm"
+)
+
+// File is one generated VHDL design unit.
+type File struct {
+	Name    string // file name, e.g. "fir_dp.vhd"
+	Content string
+}
+
+// EmitDatapath renders the complete data path: one component per
+// hardware node plus a top-level entity that instantiates them, the
+// pipeline registers and the feedback latches.
+func EmitDatapath(d *dp.Datapath) []File {
+	var files []File
+	// ROM components first (instantiated by LUT ops).
+	romSeen := map[*hir.Rom]bool{}
+	for _, op := range d.Ops {
+		if op.Instr.Op == vm.LUT && !romSeen[op.Instr.Rom] {
+			romSeen[op.Instr.Rom] = true
+			files = append(files, EmitRom(op.Instr.Rom))
+		}
+	}
+	files = append(files, File{
+		Name:    d.Name + "_dp.vhd",
+		Content: emitTop(d),
+	})
+	return files
+}
+
+// sigName is the VHDL signal for a virtual register.
+func sigName(r vm.Reg) string { return fmt.Sprintf("vr%d", int(r)) }
+
+func slv(w int) string {
+	return fmt.Sprintf("std_logic_vector(%d downto 0)", w-1)
+}
+
+// operand renders a vm operand as a numeric_std expression of width w.
+func operand(d *dp.Datapath, o vm.Operand, signed bool, w int) string {
+	if o.IsImm {
+		if signed {
+			return fmt.Sprintf("to_signed(%d, %d)", o.Imm, w)
+		}
+		if o.Imm < 0 {
+			return fmt.Sprintf("unsigned(to_signed(%d, %d))", o.Imm, w)
+		}
+		return fmt.Sprintf("to_unsigned(%d, %d)", o.Imm, w)
+	}
+	def := d.DefOf[o.Reg]
+	srcW := 32
+	srcSigned := signed
+	if def != nil {
+		srcW = def.Width
+		srcSigned = def.Signed
+	}
+	base := sigName(o.Reg)
+	var typed string
+	if srcSigned {
+		typed = fmt.Sprintf("signed(%s)", base)
+	} else {
+		typed = fmt.Sprintf("unsigned(%s)", base)
+	}
+	if srcSigned != signed {
+		// Re-interpret after resizing in the source domain.
+		if signed {
+			typed = fmt.Sprintf("signed(resize(%s, %d))", typed, w)
+		} else {
+			typed = fmt.Sprintf("unsigned(resize(%s, %d))", typed, w)
+		}
+		return typed
+	}
+	if srcW != w {
+		return fmt.Sprintf("resize(%s, %d)", typed, w)
+	}
+	return typed
+}
+
+// opExpr renders the combinational expression computing op's value.
+func opExpr(d *dp.Datapath, op *dp.Op) string {
+	in := op.Instr
+	w := op.Width
+	s := op.Signed
+	a := func() string { return operand(d, in.Srcs[0], s, w) }
+	b := func() string { return operand(d, in.Srcs[1], s, w) }
+	cast := "std_logic_vector"
+	switch in.Op {
+	case vm.MOV, vm.LDC, vm.CVT:
+		return fmt.Sprintf("%s(%s)", cast, operand(d, in.Srcs[0], s, w))
+	case vm.ADD:
+		return fmt.Sprintf("%s(%s + %s)", cast, a(), b())
+	case vm.SUB:
+		return fmt.Sprintf("%s(%s - %s)", cast, a(), b())
+	case vm.MUL:
+		return fmt.Sprintf("%s(resize(%s * %s, %d))", cast, a(), b(), w)
+	case vm.DIV:
+		// "All arithmetic opcodes ... with the exception of division":
+		// division instantiates a divider component; the inline form is
+		// emitted for simulation-only builds.
+		return fmt.Sprintf("%s(%s / %s) -- divider core instantiation", cast, a(), b())
+	case vm.REM:
+		return fmt.Sprintf("%s(%s rem %s)", cast, a(), b())
+	case vm.AND:
+		return fmt.Sprintf("%s(%s and %s)", cast, a(), b())
+	case vm.IOR:
+		return fmt.Sprintf("%s(%s or %s)", cast, a(), b())
+	case vm.XOR:
+		return fmt.Sprintf("%s(%s xor %s)", cast, a(), b())
+	case vm.NOT:
+		return fmt.Sprintf("%s(not %s)", cast, a())
+	case vm.NEG:
+		return fmt.Sprintf("%s(-%s)", cast, operand(d, in.Srcs[0], true, w))
+	case vm.SHL:
+		return fmt.Sprintf("%s(shift_left(%s, to_integer(%s)))", cast, a(),
+			operand(d, in.Srcs[1], false, 6))
+	case vm.SHR:
+		return fmt.Sprintf("%s(shift_right(%s, to_integer(%s)))", cast, a(),
+			operand(d, in.Srcs[1], false, 6))
+	case vm.SEQ, vm.SNE, vm.SLT, vm.SLE:
+		wCmp := cmpWidth(d, in)
+		sCmp := cmpSigned(d, in)
+		x := operand(d, in.Srcs[0], sCmp, wCmp)
+		y := operand(d, in.Srcs[1], sCmp, wCmp)
+		rel := map[vm.Opcode]string{vm.SEQ: "=", vm.SNE: "/=", vm.SLT: "<", vm.SLE: "<="}[in.Op]
+		return fmt.Sprintf("\"1\" when %s %s %s else \"0\"", x, rel, y)
+	case vm.MUX:
+		sel := sigName(in.Srcs[0].Reg)
+		if in.Srcs[0].IsImm {
+			sel = fmt.Sprintf("\"%d\"", in.Srcs[0].Imm&1)
+		}
+		t := fmt.Sprintf("std_logic_vector(%s)", operand(d, in.Srcs[1], s, w))
+		f := fmt.Sprintf("std_logic_vector(%s)", operand(d, in.Srcs[2], s, w))
+		return fmt.Sprintf("%s when %s = \"1\" else %s", t, sel, f)
+	default:
+		return "(others => '0')"
+	}
+}
+
+// cmpWidth picks a comparison width covering both operands plus a sign
+// bit when mixing domains.
+func cmpWidth(d *dp.Datapath, in *vm.Instr) int {
+	w := 2
+	for _, o := range in.Srcs {
+		if o.IsImm {
+			continue
+		}
+		if def := d.DefOf[o.Reg]; def != nil && def.Width+1 > w {
+			w = def.Width + 1
+		}
+	}
+	return w
+}
+
+func cmpSigned(d *dp.Datapath, in *vm.Instr) bool {
+	for _, o := range in.Srcs {
+		if o.IsImm {
+			if o.Imm < 0 {
+				return true
+			}
+			continue
+		}
+		if def := d.DefOf[o.Reg]; def != nil && def.Signed {
+			return true
+		}
+	}
+	return false
+}
+
+// emitTop renders the single-entity data path: wires for every virtual
+// register, concurrent statements for combinational ops, one clocked
+// process holding the pipeline registers and feedback latches, and ROM
+// instantiations for LUT ops.
+func emitTop(d *dp.Datapath) string {
+	var b strings.Builder
+	name := d.Name + "_dp"
+	b.WriteString("library IEEE;\nuse IEEE.std_logic_1164.all;\nuse IEEE.numeric_std.all;\n\n")
+	fmt.Fprintf(&b, "-- Generated by the ROCCC reproduction: pipelined data path %q\n", d.Name)
+	fmt.Fprintf(&b, "-- %d ops, %d pipeline stages, target period %.2f ns\n\n", d.NumOps(), d.Stages, d.Period)
+	fmt.Fprintf(&b, "entity %s is\n  port (\n    clk : in std_logic;\n    rst : in std_logic;\n", name)
+	for _, p := range d.Inputs {
+		fmt.Fprintf(&b, "    %s : in %s;  -- %s\n", sigName(p.Reg), slv(p.Width), p.Var.Name)
+	}
+	for i, p := range d.Outputs {
+		sep := ";"
+		if i == len(d.Outputs)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    %s_out : out %s%s  -- %s\n", sigName(p.Reg), slv(p.Width), sep, p.Var.Name)
+	}
+	b.WriteString("  );\nend entity;\n\n")
+	fmt.Fprintf(&b, "architecture rtl of %s is\n", name)
+
+	// Wire declarations: every op's result ("every virtual register ...
+	// converted into wires"). Latched ops also get a registered copy.
+	for _, op := range d.Ops {
+		if op.Node.Kind == dp.InputNode || !op.Instr.Op.HasDst() {
+			continue
+		}
+		fmt.Fprintf(&b, "  signal %s : %s;\n", sigName(op.Instr.Dst), slv(op.Width))
+		if op.Latched {
+			fmt.Fprintf(&b, "  signal %s_q : %s;\n", sigName(op.Instr.Dst), slv(op.Width))
+		}
+	}
+	for _, fb := range d.Feedbacks {
+		fmt.Fprintf(&b, "  signal fb_%s : %s; -- feedback latch (LPR/SNX)\n",
+			fb.State.Name, slv(fb.State.Type.Bits))
+	}
+	b.WriteString("begin\n")
+
+	// Node-by-node concurrent statements, grouped with comments that
+	// preserve the soft/mux/pipe structure of §4.2.2.
+	nodes := append([]*dp.Node{}, d.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		if n.Kind == dp.InputNode {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  -- node %d (%s, level %d)\n", n.ID, n.Kind, n.Level)
+		for _, op := range n.Ops {
+			in := op.Instr
+			switch in.Op {
+			case vm.SNX:
+				fmt.Fprintf(&b, "  -- snx %s feeds the feedback latch in the clocked process\n", in.State.Name)
+			case vm.LPR:
+				fmt.Fprintf(&b, "  %s <= fb_%s;\n", sigName(in.Dst), in.State.Name)
+			case vm.LUT:
+				fmt.Fprintf(&b, "  u_%s_%d: entity work.rom_%s port map (addr => %s, data => %s);\n",
+					in.Rom.Name, op.ID, in.Rom.Name, sigName(in.Srcs[0].Reg), sigName(in.Dst))
+			default:
+				fmt.Fprintf(&b, "  %s <= %s;\n", sigName(in.Dst), opExpr(d, op))
+			}
+		}
+	}
+
+	// Clocked process: pipeline registers and feedback latches (§4.2.3).
+	b.WriteString("\n  pipeline: process(clk)\n  begin\n    if rising_edge(clk) then\n      if rst = '1' then\n")
+	for _, fb := range d.Feedbacks {
+		fmt.Fprintf(&b, "        fb_%s <= std_logic_vector(to_signed(%d, %d));\n",
+			fb.State.Name, fb.Init, fb.State.Type.Bits)
+	}
+	b.WriteString("      else\n")
+	for _, op := range d.Ops {
+		if op.Latched && op.Instr.Op.HasDst() {
+			fmt.Fprintf(&b, "        %s_q <= %s;\n", sigName(op.Instr.Dst), sigName(op.Instr.Dst))
+		}
+	}
+	for _, fb := range d.Feedbacks {
+		src := fb.SNX.Instr.Srcs[0]
+		fmt.Fprintf(&b, "        fb_%s <= %s;\n", fb.State.Name, sigName(src.Reg))
+	}
+	b.WriteString("      end if;\n    end if;\n  end process;\n\n")
+
+	for _, p := range d.Outputs {
+		fmt.Fprintf(&b, "  %s_out <= %s;\n", sigName(p.Reg), sigName(p.Reg))
+	}
+	b.WriteString("end architecture;\n")
+	return b.String()
+}
+
+// EmitRom renders a ROM component plus its plain-text init file contents
+// (the paper: "the compiler instantiates the lookup table as a regular
+// ROM IP core unit in the VHDL code. The only thing the user needs to do
+// is to edit a pure text initialization file").
+func EmitRom(r *hir.Rom) File {
+	var b strings.Builder
+	b.WriteString("library IEEE;\nuse IEEE.std_logic_1164.all;\nuse IEEE.numeric_std.all;\n\n")
+	addrW := 1
+	for 1<<uint(addrW) < r.Size {
+		addrW++
+	}
+	fmt.Fprintf(&b, "entity rom_%s is\n  port (\n    addr : in std_logic_vector(%d downto 0);\n    data : out std_logic_vector(%d downto 0)\n  );\nend entity;\n\n",
+		r.Name, addrW-1, r.Elem.Bits-1)
+	fmt.Fprintf(&b, "architecture rtl of rom_%s is\n", r.Name)
+	fmt.Fprintf(&b, "  type rom_t is array (0 to %d) of std_logic_vector(%d downto 0);\n", r.Size-1, r.Elem.Bits-1)
+	b.WriteString("  constant CONTENT : rom_t := (\n")
+	for i, v := range r.Content {
+		sep := ","
+		if i == len(r.Content)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    %d => std_logic_vector(to_signed(%d, %d))%s\n", i, v, r.Elem.Bits, sep)
+	}
+	b.WriteString("  );\nbegin\n  data <= CONTENT(to_integer(unsigned(addr)));\nend architecture;\n")
+	return File{Name: "rom_" + r.Name + ".vhd", Content: b.String()}
+}
+
+// RomInitFile renders the plain-text initialization file for a ROM.
+func RomInitFile(r *hir.Rom) File {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- init file for lookup table %s: %d x %d bits\n", r.Name, r.Size, r.Elem.Bits)
+	for _, v := range r.Content {
+		fmt.Fprintf(&b, "%d\n", v)
+	}
+	return File{Name: r.Name + ".init", Content: b.String()}
+}

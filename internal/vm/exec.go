@@ -1,0 +1,177 @@
+package vm
+
+import (
+	"fmt"
+
+	"roccc/internal/hir"
+)
+
+// Exec interprets a Routine: one invocation corresponds to one loop
+// iteration of the kernel. state holds the feedback latches: LPR reads
+// the incoming value, SNX stages the value for the next invocation;
+// staged values are committed when the routine returns. Outputs are
+// returned in Routine.Outputs order.
+//
+// Exec is the reference semantics of the vm layer, used to validate
+// lowering, SSA conversion and data-path building against the HIR
+// evaluator.
+func Exec(rt *Routine, inputs []int64, state map[*hir.Var]int64) ([]int64, error) {
+	if len(inputs) != len(rt.Inputs) {
+		return nil, fmt.Errorf("vm: exec: %d inputs provided, routine has %d", len(inputs), len(rt.Inputs))
+	}
+	regs := make(map[Reg]int64, rt.NumRegs)
+	for i, p := range rt.Inputs {
+		regs[p.Reg] = p.Var.Type.Wrap(inputs[i])
+	}
+	next := map[*hir.Var]int64{}
+
+	labels := map[string]int{}
+	for i, in := range rt.Instrs {
+		if in.Op == LAB {
+			labels[in.Label] = i
+		}
+	}
+	val := func(o Operand) int64 {
+		if o.IsImm {
+			return o.Imm
+		}
+		return regs[o.Reg]
+	}
+	steps := 0
+	for pc := 0; pc < len(rt.Instrs); pc++ {
+		steps++
+		if steps > 1_000_000 {
+			return nil, fmt.Errorf("vm: exec: step limit exceeded")
+		}
+		in := rt.Instrs[pc]
+		switch in.Op {
+		case NOP, LAB:
+		case RET:
+			pc = len(rt.Instrs)
+		case JMP:
+			ix, ok := labels[in.Label]
+			if !ok {
+				return nil, fmt.Errorf("vm: exec: unknown label %q", in.Label)
+			}
+			pc = ix
+		case BTR, BFL:
+			taken := val(in.Srcs[0]) != 0
+			if in.Op == BFL {
+				taken = !taken
+			}
+			if taken {
+				ix, ok := labels[in.Label]
+				if !ok {
+					return nil, fmt.Errorf("vm: exec: unknown label %q", in.Label)
+				}
+				pc = ix
+			}
+		case SNX:
+			next[in.State] = in.Typ.Wrap(val(in.Srcs[0]))
+		case LPR:
+			regs[in.Dst] = state[in.State]
+		case LUT:
+			ix := val(in.Srcs[0])
+			if ix < 0 || ix >= int64(in.Rom.Size) {
+				return nil, fmt.Errorf("vm: exec: LUT index %d out of range for %s", ix, in.Rom.Name)
+			}
+			regs[in.Dst] = in.Rom.Content[ix]
+		default:
+			v, err := EvalOp(in, val)
+			if err != nil {
+				return nil, err
+			}
+			regs[in.Dst] = v
+		}
+	}
+	for v, nv := range next {
+		state[v] = nv
+	}
+	outs := make([]int64, len(rt.Outputs))
+	for i, p := range rt.Outputs {
+		outs[i] = regs[p.Reg]
+	}
+	return outs, nil
+}
+
+// EvalOp computes a pure compute opcode over operand values supplied by
+// val. It is shared by the vm interpreter and the netlist simulator so
+// both layers have identical arithmetic.
+func EvalOp(in *Instr, val func(Operand) int64) (int64, error) {
+	t := in.Typ
+	a := int64(0)
+	b := int64(0)
+	c := int64(0)
+	if len(in.Srcs) > 0 {
+		a = val(in.Srcs[0])
+	}
+	if len(in.Srcs) > 1 {
+		b = val(in.Srcs[1])
+	}
+	if len(in.Srcs) > 2 {
+		c = val(in.Srcs[2])
+	}
+	switch in.Op {
+	case LDC, MOV, CVT:
+		return t.Wrap(a), nil
+	case ADD:
+		return t.Wrap(a + b), nil
+	case SUB:
+		return t.Wrap(a - b), nil
+	case MUL:
+		return t.Wrap(a * b), nil
+	case DIV:
+		if b == 0 {
+			return 0, fmt.Errorf("vm: division by zero")
+		}
+		return t.Wrap(a / b), nil
+	case REM:
+		if b == 0 {
+			return 0, fmt.Errorf("vm: modulo by zero")
+		}
+		return t.Wrap(a % b), nil
+	case AND:
+		return t.Wrap(a & b), nil
+	case IOR:
+		return t.Wrap(a | b), nil
+	case XOR:
+		return t.Wrap(a ^ b), nil
+	case SHL:
+		return t.Wrap(a << uint(b&63)), nil
+	case SHR:
+		ot := in.OperandTyp
+		if ot.Bits == 0 {
+			ot = t
+		}
+		if !ot.Signed {
+			ua := uint64(a) & (uint64(1)<<uint(ot.Bits) - 1)
+			return t.Wrap(int64(ua >> uint(b&63))), nil
+		}
+		return t.Wrap(a >> uint(b&63)), nil
+	case NEG:
+		return t.Wrap(-a), nil
+	case NOT:
+		return t.Wrap(^a), nil
+	case SEQ:
+		return boolVal(a == b), nil
+	case SNE:
+		return boolVal(a != b), nil
+	case SLT:
+		return boolVal(a < b), nil
+	case SLE:
+		return boolVal(a <= b), nil
+	case MUX:
+		if a != 0 {
+			return t.Wrap(b), nil
+		}
+		return t.Wrap(c), nil
+	}
+	return 0, fmt.Errorf("vm: EvalOp: unsupported opcode %s", in.Op)
+}
+
+func boolVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,213 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"roccc/internal/hir"
+)
+
+const ifElseSource = `
+void if_else(int x1, int x2, int* x3, int* x4) {
+	int a, c;
+	c = x1 - x2;
+	if (c < x2)
+		a = x1*x1;
+	else
+		a = x1 * x2 + 3;
+	c = c - a;
+	*x3 = c;
+	*x4 = a;
+	return;
+}
+`
+
+const accumSource = `
+int A[32];
+int sum;
+void accum() {
+	int i;
+	sum = 0;
+	for (i = 0; i < 32; i++) {
+		sum = sum + A[i];
+	}
+}
+`
+
+// lowerKernel builds a kernel from source and lowers its data path.
+func lowerKernel(t *testing.T, src, name string) (*hir.Kernel, *Routine) {
+	t.Helper()
+	p, f, err := hir.BuildFunc(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := hir.ExtractKernel(p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Lower(k.DP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, rt
+}
+
+func TestLowerIfElse(t *testing.T) {
+	k, rt := lowerKernel(t, ifElseSource, "if_else")
+	if len(rt.Inputs) != 2 || len(rt.Outputs) != 2 {
+		t.Fatalf("ports: %d in %d out", len(rt.Inputs), len(rt.Outputs))
+	}
+	// Branches must be present (if/else lowers to BFL/JMP).
+	hasBranch := false
+	for _, in := range rt.Instrs {
+		if in.Op == BFL || in.Op == BTR {
+			hasBranch = true
+		}
+	}
+	if !hasBranch {
+		t.Error("no conditional branch emitted")
+	}
+	// Exec must agree with the HIR evaluator on random inputs.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		x1 := rng.Int63n(1<<15) - 1<<14
+		x2 := rng.Int63n(1<<15) - 1<<14
+		env := hir.NewEnv()
+		for i, p := range k.DP.Params {
+			env.Vars[p] = []int64{x1, x2}[i]
+		}
+		if err := hir.RunFunc(k.DP, env); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Exec(rt, []int64{x1, x2}, map[*hir.Var]int64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range k.DP.Outs {
+			if got[i] != env.Vars[o] {
+				t.Fatalf("trial %d (%d,%d): out[%d] vm=%d hir=%d", trial, x1, x2, i, got[i], env.Vars[o])
+			}
+		}
+	}
+}
+
+func TestLowerAccumulatorFeedback(t *testing.T) {
+	k, rt := lowerKernel(t, accumSource, "accum")
+	// LPR and SNX must appear (Fig. 4 / §4.2.1).
+	var hasLPR, hasSNX bool
+	for _, in := range rt.Instrs {
+		if in.Op == LPR {
+			hasLPR = true
+		}
+		if in.Op == SNX {
+			hasSNX = true
+		}
+	}
+	if !hasLPR || !hasSNX {
+		t.Fatalf("LPR=%v SNX=%v, want both", hasLPR, hasSNX)
+	}
+	fb := k.Feedback[0]
+	state := map[*hir.Var]int64{fb.Var: fb.Init}
+	var want int64
+	for i := int64(1); i <= 10; i++ {
+		outs, err := Exec(rt, []int64{i}, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += i
+		if outs[len(outs)-1] != want {
+			t.Errorf("iteration %d: out=%v, want %d", i, outs, want)
+		}
+	}
+	if state[fb.Var] != want {
+		t.Errorf("final state = %d, want %d", state[fb.Var], want)
+	}
+}
+
+func TestLowerMux(t *testing.T) {
+	src := `void f(int a, int b, int* o) { *o = a > b ? a : b; }`
+	k, rt := lowerKernel(t, src, "f")
+	_ = k
+	hasMux := false
+	for _, in := range rt.Instrs {
+		if in.Op == MUX {
+			hasMux = true
+		}
+	}
+	if !hasMux {
+		t.Fatal("ternary did not lower to MUX")
+	}
+	outs, err := Exec(rt, []int64{5, 9}, map[*hir.Var]int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 9 {
+		t.Errorf("max(5,9) = %d", outs[0])
+	}
+}
+
+func TestLowerLUT(t *testing.T) {
+	src := `
+const int16 tab[8] = {1, 2, 4, 8, 16, 32, 64, 128};
+void f(uint3 i, int16* o) { *o = tab[i]; }
+`
+	_, rt := lowerKernel(t, src, "f")
+	hasLUT := false
+	for _, in := range rt.Instrs {
+		if in.Op == LUT {
+			hasLUT = true
+		}
+	}
+	if !hasLUT {
+		t.Fatal("ROM access did not lower to LUT")
+	}
+	for i := int64(0); i < 8; i++ {
+		outs, err := Exec(rt, []int64{i}, map[*hir.Var]int64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[0] != 1<<uint(i) {
+			t.Errorf("tab[%d] = %d", i, outs[0])
+		}
+	}
+}
+
+func TestLowerShiftSemantics(t *testing.T) {
+	src := `void f(uint8 a, int8 b, uint8* o1, int8* o2) { *o1 = a >> 1; *o2 = b >> 1; }`
+	_, rt := lowerKernel(t, src, "f")
+	outs, err := Exec(rt, []int64{0x80, -128}, map[*hir.Var]int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 0x40 {
+		t.Errorf("logical shift: %d, want 64", outs[0])
+	}
+	if outs[1] != -64 {
+		t.Errorf("arithmetic shift: %d, want -64", outs[1])
+	}
+}
+
+func TestLowerLogicalOps(t *testing.T) {
+	src := `void f(int a, int b, int* o) { *o = (a > 0 && b > 0) || (a < -5); }`
+	_, rt := lowerKernel(t, src, "f")
+	cases := []struct{ a, b, want int64 }{
+		{1, 1, 1}, {1, -1, 0}, {-1, 1, 0}, {-10, -10, 1}, {0, 0, 0},
+	}
+	for _, tc := range cases {
+		outs, err := Exec(rt, []int64{tc.a, tc.b}, map[*hir.Var]int64{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[0] != tc.want {
+			t.Errorf("f(%d,%d) = %d, want %d", tc.a, tc.b, outs[0], tc.want)
+		}
+	}
+}
+
+func TestRoutineString(t *testing.T) {
+	_, rt := lowerKernel(t, ifElseSource, "if_else")
+	s := rt.String()
+	if len(s) == 0 {
+		t.Fatal("empty printout")
+	}
+}

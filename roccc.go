@@ -1,0 +1,110 @@
+// Package roccc is a from-scratch Go reproduction of the ROCCC C-to-VHDL
+// compiler described in "Optimized Generation of Data-path from C Codes
+// for FPGAs" (Guo, Buyukkurt, Najjar, Vissers — DATE 2005).
+//
+// The library compiles restricted-C kernels into pipelined data paths:
+//
+//	res, err := roccc.Compile(src, "fir", roccc.DefaultOptions())
+//	files := roccc.GenerateVHDL(res)          // RTL VHDL (§4.2.4)
+//	report := roccc.Synthesize(res, 1)        // Virtex-II area/clock model
+//	sys, _ := roccc.NewSystem(res, roccc.SystemConfig{BusElems: 1})
+//
+// The full pipeline follows the paper: C front end → loop-level
+// optimization → scalar replacement and feedback detection (§4.1) →
+// SUIFvm lowering, CFG and SSA (§4.2.1) → data-path building with soft,
+// mux and pipe nodes (§4.2.2) → latch placement (§4.2.3) → bit-width
+// inference and VHDL generation (§4.2.4). Generated circuits are
+// cycle-accurately simulated and verified against the C semantics.
+package roccc
+
+import (
+	"roccc/internal/core"
+	"roccc/internal/dp"
+	"roccc/internal/exp"
+	"roccc/internal/netlist"
+	"roccc/internal/smartbuf"
+	"roccc/internal/synth"
+	"roccc/internal/vhdl"
+)
+
+// Options control compilation; see core.Options for the field docs.
+type Options = core.Options
+
+// Result carries every intermediate representation of a compiled kernel.
+type Result = core.Result
+
+// VHDLFile is one generated design unit.
+type VHDLFile = vhdl.File
+
+// Report is a synthesis (area/clock) report.
+type Report = synth.Report
+
+// System is the Fig. 2 execution model: BRAMs, smart buffers, address
+// generators, controller and the pipelined data path.
+type System = netlist.System
+
+// SystemConfig configures system construction.
+type SystemConfig = netlist.Config
+
+// Sim is the cycle-accurate data-path simulator.
+type Sim = dp.Sim
+
+// DefaultOptions returns the standard optimizing configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Compile compiles the kernel function fname from C source text through
+// the full pipeline.
+func Compile(src, fname string, opt Options) (*Result, error) {
+	return core.CompileSource(src, fname, opt)
+}
+
+// GenerateVHDL renders the kernel's complete VHDL file set: the
+// pipelined data path, ROM components with init files, smart buffers,
+// address generators and the controller FSM.
+func GenerateVHDL(res *Result) []VHDLFile {
+	files := vhdl.EmitDatapath(res.Datapath)
+	cfgs, err := synth.KernelBufferConfigs(res.Kernel, 1)
+	if err != nil {
+		cfgs = nil
+	}
+	return vhdl.EmitKernel(res.Kernel, files, cfgs, res.Datapath.Latency())
+}
+
+// Synthesize costs the compiled kernel on the Virtex-II xc2v2000-5
+// model (the reproduction's substitute for Xilinx ISE), including smart
+// buffers and controller for streaming kernels.
+func Synthesize(res *Result, busElems int) *Report {
+	opt := synth.Options{}
+	if res.Kernel.Nest.Depth() > 0 && len(res.Kernel.Reads) > 0 {
+		if cfgs, err := synth.KernelBufferConfigs(res.Kernel, busElems); err == nil {
+			opt.BufferConfigs = cfgs
+			opt.ControllerIters = int(res.Kernel.Nest.TotalIterations())
+		}
+	}
+	return synth.Synthesize(res.Datapath, opt)
+}
+
+// NewSystem builds the full execution-model simulation for a compiled
+// streaming kernel.
+func NewSystem(res *Result, cfg SystemConfig) (*System, error) {
+	return netlist.NewSystem(res.Kernel, res.Datapath, cfg)
+}
+
+// NewSim builds a cycle-accurate simulator for the data path alone
+// (combinational kernels and unit tests).
+func NewSim(res *Result) *Sim { return dp.NewSim(res.Datapath) }
+
+// BufferConfig derives the smart-buffer configuration for read window i
+// of a compiled kernel.
+func BufferConfig(res *Result, i, busElems int) (smartbuf.Config, error) {
+	return smartbuf.ConfigFor(res.Kernel.Reads[i], &res.Kernel.Nest, busElems)
+}
+
+// Table1 regenerates the paper's Table 1.
+func Table1() string {
+	rows, err := exp.Table1()
+	if err != nil {
+		return "table 1 failed: " + err.Error()
+	}
+	return exp.FormatTable1(rows, true)
+}

@@ -1,0 +1,100 @@
+package roccc
+
+import (
+	"strings"
+	"testing"
+)
+
+const firC = `
+int A[21];
+int C[17];
+void fir() {
+	int i;
+	for (i = 0; i < 17; i = i + 1) {
+		C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+	}
+}
+`
+
+func TestPublicCompile(t *testing.T) {
+	res, err := Compile(firC, "fir", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Datapath == nil || res.Kernel == nil {
+		t.Fatal("incomplete result")
+	}
+	if len(res.Datapath.Inputs) != 5 || len(res.Datapath.Outputs) != 1 {
+		t.Errorf("ports: %d in, %d out", len(res.Datapath.Inputs), len(res.Datapath.Outputs))
+	}
+}
+
+func TestPublicVHDL(t *testing.T) {
+	res, err := Compile(firC, "fir", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := GenerateVHDL(res)
+	if len(files) < 4 {
+		t.Fatalf("files = %d, want >= 4 (dp, buffer, addrgen, controller)", len(files))
+	}
+	names := map[string]bool{}
+	for _, f := range files {
+		names[f.Name] = true
+		if !strings.Contains(f.Content, "entity") {
+			t.Errorf("%s has no entity", f.Name)
+		}
+	}
+	if !names["fir_dp.vhd"] {
+		t.Error("missing fir_dp.vhd")
+	}
+}
+
+func TestPublicSynthesize(t *testing.T) {
+	res, err := Compile(firC, "fir", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Synthesize(res, 1)
+	if rep.Slices <= 0 || rep.ClockMHz <= 0 {
+		t.Errorf("report: %d slices, %.0f MHz", rep.Slices, rep.ClockMHz)
+	}
+}
+
+func TestPublicSystem(t *testing.T) {
+	res, err := Compile(firC, "fir", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(res, SystemConfig{BusElems: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	if err := sys.LoadInput("A", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.Output("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		want := 3*in[i] + 5*in[i+1] + 7*in[i+2] + 9*in[i+3] - in[i+4]
+		if out[i] != want {
+			t.Errorf("C[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestPublicTable1(t *testing.T) {
+	out := Table1()
+	if !strings.Contains(out, "bit_correlator") || !strings.Contains(out, "geometric mean") {
+		t.Errorf("table output:\n%s", out)
+	}
+}
