@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"roccc/internal/bench"
+	"roccc/internal/dp"
 	"roccc/internal/exp"
 	"roccc/internal/ip"
 	"roccc/internal/netlist"
@@ -95,7 +96,10 @@ func BenchmarkFig4FeedbackDetection(b *testing.B) {
 }
 
 // BenchmarkFig6BranchDatapath measures data-path building with mux and
-// pipe nodes on the Fig. 5 kernel, reporting the hard-node counts.
+// pipe nodes on the Fig. 5 kernel, reporting the hard-node counts. The
+// counts are asserted: Fig. 6 requires at least one mux node (the SSA
+// phis of the join block) and one pipe node (live values crossing the
+// branch), and the seed's magic ordinals 2/1 had them swapped.
 func BenchmarkFig6BranchDatapath(b *testing.B) {
 	var muxes, pipes int
 	for n := 0; n < b.N; n++ {
@@ -103,11 +107,17 @@ func BenchmarkFig6BranchDatapath(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		muxes = len(d.NodesOfKind(2)) // MuxNode
-		pipes = len(d.NodesOfKind(1)) // PipeNode (ordinal check below)
-		_ = muxes
-		_ = pipes
+		muxes = len(d.NodesOfKind(dp.MuxNode))
+		pipes = len(d.NodesOfKind(dp.PipeNode))
 	}
+	if muxes == 0 {
+		b.Fatal("Fig. 6 data path built no mux node")
+	}
+	if pipes == 0 {
+		b.Fatal("Fig. 6 data path built no pipe node")
+	}
+	b.ReportMetric(float64(muxes), "mux-nodes")
+	b.ReportMetric(float64(pipes), "pipe-nodes")
 }
 
 // BenchmarkFig7AccumulatorDatapath measures the feedback-latch data path
@@ -174,6 +184,7 @@ func BenchmarkDatapathSim(b *testing.B) {
 	for i := range in {
 		in[i] = rng.Int63n(255) - 128
 	}
+	b.ReportAllocs() // steady-state Step must stay at 0 allocs/op
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		if _, err := sim.Step(in); err != nil {

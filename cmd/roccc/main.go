@@ -60,7 +60,10 @@ func main() {
 	fmt.Println()
 	fmt.Println("== synthesis (Virtex-II xc2v2000-5 model) ==")
 	fmt.Println(roccc.Synthesize(res, *bus))
-	files := roccc.GenerateVHDL(res)
+	files, err := roccc.GenerateVHDL(res)
+	if err != nil {
+		fatal(err)
+	}
 	if *outDir == "" {
 		fmt.Println("== generated files (use -o DIR to write) ==")
 		for _, f := range files {

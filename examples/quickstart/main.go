@@ -35,7 +35,10 @@ func main() {
 	fmt.Println(res.Datapath.Summary())
 
 	// 2. Generate VHDL (§4.2.4).
-	files := roccc.GenerateVHDL(res)
+	files, err := roccc.GenerateVHDL(res)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ngenerated %d VHDL files:\n", len(files))
 	for _, f := range files {
 		fmt.Printf("  %s (%d bytes)\n", f.Name, len(f.Content))

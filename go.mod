@@ -1,0 +1,3 @@
+module roccc
+
+go 1.24.0

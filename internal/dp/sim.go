@@ -2,7 +2,9 @@ package dp
 
 import (
 	"fmt"
+	"math/bits"
 
+	"roccc/internal/cc"
 	"roccc/internal/hir"
 	"roccc/internal/vm"
 )
@@ -11,38 +13,217 @@ import (
 // is one clock: a new iteration's inputs enter the pipeline every cycle
 // (initiation interval 1, §4.2.3), and each op at stage s works on the
 // iteration admitted s cycles earlier. Stage-crossing values are taken
-// from per-op history, which models the pipeline registers exactly: any
+// from pipeline-register history, which models the latches exactly: any
 // path between two ops crosses the same number of latches.
+//
+// The simulator is compiled: NewSim lowers the data path once into an
+// integer-indexed execution plan (dense operand descriptors, pre-resolved
+// wrap masks, feedback-latch slots and one flat ring buffer holding every
+// op's register history), so Step is a flat loop over slices with switch
+// dispatch — no map lookups, no closures and zero heap allocations per
+// cycle. RefSim keeps the direct, map-based §4.2.3 semantics; the two are
+// checked bit-identical by differential tests.
 type Sim struct {
 	d *Datapath
-	// hist[op] holds recent output values: hist[op][0] is the value
-	// computed in the previous cycle, [1] two cycles ago, and so on.
-	hist  map[*Op][]int64
-	depth int
-	// State holds the feedback latches.
+
+	// Execution plan, fixed after NewSim.
+	plan     []cop
+	inSlots  []inSlot
+	outSlots []outSlot
+	fbVars   []*hir.Var
+
+	// ring holds every op's output history: one rdepth-sized circular
+	// region per op (region base = op index × rdepth). ring[base+head] is
+	// the value computed this cycle, ring[base+((head+j)&rmask)] the value
+	// computed j cycles earlier.
+	ring  []int64
+	rmask int
+	head  int
+	// validRing records, for each of the last rdepth admitted iterations,
+	// whether it carried real data; bubbles do not commit feedback
+	// latches. Indexed by cycle&rmask (bounded, unlike a grow-only log).
+	validRing []bool
+
+	// Feedback latches, dense (indexed like d.Feedbacks) plus staged
+	// next-cycle values.
+	state     []int64
+	stagedVal []int64
+	stagedSet []bool
+
+	outBuf  []int64
+	zeroBuf []int64
+	cycle   int
+
+	// State is a read-only view of the feedback latches keyed by state
+	// variable, refreshed after every commit. The dense plan is
+	// authoritative; mutating this map does not affect the simulation.
 	State map[*hir.Var]int64
-	cur   map[*Op]int64
-	cycle int
-	// validLog records, per admitted iteration (== cycle index), whether
-	// it carried real data; bubbles do not commit feedback latches.
-	validLog []bool
 }
 
-// NewSim creates a simulator with feedback latches reset to their init
-// values.
+// cOperand is a pre-resolved instruction operand: either an immediate
+// (imm, ring=false; unresolved registers become immediate zeros) or a
+// read of the defining op's ring region at a fixed stage delta.
+type cOperand struct {
+	imm  int64
+	base int32
+	off  int32
+	ring bool
+}
+
+// wrapSpec is a pre-compiled cc.IntType.Wrap: truncate to Bits and
+// re-interpret by shifting through bit 63.
+type wrapSpec struct {
+	sh     uint8
+	signed bool
+}
+
+func makeWrap(t cc.IntType) wrapSpec {
+	sh := 0
+	if t.Bits < 64 {
+		sh = 64 - t.Bits
+	}
+	return wrapSpec{sh: uint8(sh), signed: t.Signed}
+}
+
+func (w wrapSpec) wrap(v int64) int64 {
+	if w.signed {
+		return v << w.sh >> w.sh
+	}
+	return int64(uint64(v) << w.sh >> w.sh)
+}
+
+// cop is one compiled data-path operation.
+type cop struct {
+	opc  vm.Opcode
+	slot int32 // ring base of the op's own output region
+	a    cOperand
+	b    cOperand
+	c    cOperand
+	tw   wrapSpec // semantic result-type wrap (vm.EvalOp)
+	hw   wrapSpec // inferred hardware-width wrap (§4.2.4)
+	fb   int32    // feedback latch index for LPR/SNX
+	// stage is the op's pipeline stage; SNX uses it to find which
+	// admitted iteration currently occupies the stage.
+	stage int32
+	rom   *hir.Rom
+	// SHR semantics, resolved from the left operand's type: logical
+	// (mask the operand to shrMask first) vs arithmetic.
+	shrLogical bool
+	shrMask    uint64
+}
+
+// inSlot routes one data-path input port into the ring.
+type inSlot struct {
+	base int32
+	w    wrapSpec
+}
+
+// outSlot reads one output port from the ring: the defining op's value
+// delta cycles back, so all outputs of one iteration appear together at
+// the pipeline exit.
+type outSlot struct {
+	base  int32
+	delta int32
+}
+
+// NewSim compiles the data path into an execution plan, with feedback
+// latches reset to their init values.
 func NewSim(d *Datapath) *Sim {
+	// Smallest power of two holding Stages+1 history entries per op.
+	rdepth := 1 << bits.Len(uint(d.Stages))
 	s := &Sim{
-		d:     d,
-		hist:  map[*Op][]int64{},
-		depth: d.Stages + 1,
-		State: map[*hir.Var]int64{},
-		cur:   map[*Op]int64{},
+		d:         d,
+		ring:      make([]int64, len(d.Ops)*rdepth),
+		rmask:     rdepth - 1,
+		validRing: make([]bool, rdepth),
+		outBuf:    make([]int64, len(d.Outputs)),
+		zeroBuf:   make([]int64, len(d.Inputs)),
+		State:     map[*hir.Var]int64{},
 	}
-	for _, fb := range d.Feedbacks {
-		s.State[fb.State] = fb.State.Type.Wrap(fb.Init)
+
+	opIndex := make(map[*Op]int, len(d.Ops))
+	for i, op := range d.Ops {
+		opIndex[op] = i
 	}
+	base := func(op *Op) int32 { return int32(opIndex[op] * rdepth) }
+
+	fbIndex := map[*hir.Var]int32{}
+	for i, fb := range d.Feedbacks {
+		init := fb.State.Type.Wrap(fb.Init)
+		s.state = append(s.state, init)
+		s.stagedVal = append(s.stagedVal, 0)
+		s.stagedSet = append(s.stagedSet, false)
+		s.fbVars = append(s.fbVars, fb.State)
+		s.State[fb.State] = init
+		fbIndex[fb.State] = int32(i)
+	}
+
+	for _, p := range d.Inputs {
+		s.inSlots = append(s.inSlots, inSlot{base: base(d.DefOf[p.Reg]), w: makeWrap(p.Var.Type)})
+	}
+	lat := d.Latency()
+	for _, p := range d.Outputs {
+		def := d.DefOf[p.Reg]
+		s.outSlots = append(s.outSlots, outSlot{base: base(def), delta: int32(lat - def.Stage)})
+	}
+
 	for _, op := range d.Ops {
-		s.hist[op] = make([]int64, s.depth)
+		if op.Node.Kind == InputNode {
+			continue
+		}
+		operand := func(o vm.Operand) cOperand {
+			if o.IsImm {
+				return cOperand{imm: o.Imm}
+			}
+			def := d.DefOf[o.Reg]
+			if def == nil {
+				return cOperand{} // undefined register reads as zero
+			}
+			return cOperand{base: base(def), off: int32(op.Stage - def.Stage), ring: true}
+		}
+		c := cop{
+			opc:   op.Instr.Op,
+			slot:  base(op),
+			tw:    makeWrap(op.Instr.Typ),
+			hw:    makeWrap(op.HardwareType()),
+			stage: int32(op.Stage),
+			rom:   op.Instr.Rom,
+			fb:    -1,
+		}
+		if op.Instr.State != nil {
+			idx, ok := fbIndex[op.Instr.State]
+			if !ok {
+				// State variable without a detected feedback pair (e.g. a
+				// write-only SNX that upstream passes did not eliminate):
+				// give it its own latch slot, zero-initialized, so the op
+				// behaves exactly like RefSim's map-keyed staging instead
+				// of aliasing latch 0.
+				idx = int32(len(s.state))
+				fbIndex[op.Instr.State] = idx
+				s.state = append(s.state, 0)
+				s.stagedVal = append(s.stagedVal, 0)
+				s.stagedSet = append(s.stagedSet, false)
+				s.fbVars = append(s.fbVars, op.Instr.State)
+			}
+			c.fb = idx
+		}
+		if n := len(op.Instr.Srcs); n > 0 {
+			c.a = operand(op.Instr.Srcs[0])
+			if n > 1 {
+				c.b = operand(op.Instr.Srcs[1])
+			}
+			if n > 2 {
+				c.c = operand(op.Instr.Srcs[2])
+			}
+		}
+		if op.Instr.Op == vm.SHR {
+			ot := op.Instr.ShiftOperandType()
+			if !ot.Signed {
+				c.shrLogical = true
+				c.shrMask = uint64(1)<<uint(ot.Bits) - 1
+			}
+		}
+		s.plan = append(s.plan, c)
 	}
 	return s
 }
@@ -59,7 +240,8 @@ func (s *Sim) Latency() int { return s.d.Latency() }
 // enter the pipeline, every stage computes, pipeline registers shift and
 // feedback latches update. The returned slice holds the output-port
 // values visible after this clock edge — they belong to the iteration
-// admitted Latency() cycles earlier.
+// admitted Latency() cycles earlier. The slice is reused between calls;
+// copy it to retain values across Steps.
 func (s *Sim) Step(inputs []int64) ([]int64, error) {
 	return s.step(inputs, true)
 }
@@ -67,90 +249,166 @@ func (s *Sim) Step(inputs []int64) ([]int64, error) {
 // Drain advances one clock with a pipeline bubble: zero inputs enter and
 // feedback latches are not updated by the bubble when it reaches the SNX
 // stage. Used to flush the last real iterations out of the pipeline.
+// Like Step, the returned slice is reused between calls.
 func (s *Sim) Drain() ([]int64, error) {
-	return s.step(make([]int64, len(s.d.Inputs)), false)
+	return s.step(s.zeroBuf, false)
+}
+
+// fetch reads one pre-resolved operand.
+func (s *Sim) fetch(o *cOperand) int64 {
+	if !o.ring {
+		return o.imm
+	}
+	return s.ring[int(o.base)+((s.head+int(o.off))&s.rmask)]
+}
+
+// abort discards a failed cycle: the ring head is restored (every slot
+// written during the aborted attempt is rewritten before it can be read
+// once the next attempt rotates back onto it) and staged feedback
+// writes are dropped, so an errored step leaves the pipeline exactly as
+// it was before the call.
+func (s *Sim) abort(prevHead int) {
+	s.head = prevHead
+	for i := range s.stagedSet {
+		s.stagedSet[i] = false
+	}
 }
 
 func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
-	if len(inputs) != len(s.d.Inputs) {
-		return nil, fmt.Errorf("dp: sim: %d inputs, want %d", len(inputs), len(s.d.Inputs))
+	if len(inputs) != len(s.inSlots) {
+		return nil, fmt.Errorf("dp: sim: %d inputs, want %d", len(inputs), len(s.inSlots))
 	}
-	s.validLog = append(s.validLog, valid)
-	d := s.d
-	clear(s.cur)
+	prevHead := s.head
+	// Rotate the ring one cycle: head now addresses this cycle's slots,
+	// and every prior value ages by one latch.
+	s.head = (s.head - 1) & s.rmask
+	head := s.head
+	rmask := s.rmask
+	ring := s.ring
+	s.validRing[s.cycle&rmask] = valid
 	// Input pseudo-ops take this cycle's fed values.
-	for i, p := range d.Inputs {
-		s.cur[d.DefOf[p.Reg]] = p.Var.Type.Wrap(inputs[i])
+	for i := range s.inSlots {
+		sl := &s.inSlots[i]
+		ring[int(sl.base)+head] = sl.w.wrap(inputs[i])
 	}
-	staged := map[*hir.Var]int64{}
-	for _, op := range d.Ops {
-		if op.Node.Kind == InputNode {
-			continue
-		}
-		val := func(o vm.Operand) int64 {
-			if o.IsImm {
-				return o.Imm
+	staged := false
+	for i := range s.plan {
+		op := &s.plan[i]
+		var v int64
+		switch op.opc {
+		case vm.LDC, vm.MOV, vm.CVT:
+			v = op.tw.wrap(s.fetch(&op.a))
+		case vm.ADD:
+			v = op.tw.wrap(s.fetch(&op.a) + s.fetch(&op.b))
+		case vm.SUB:
+			v = op.tw.wrap(s.fetch(&op.a) - s.fetch(&op.b))
+		case vm.MUL:
+			v = op.tw.wrap(s.fetch(&op.a) * s.fetch(&op.b))
+		case vm.DIV:
+			b := s.fetch(&op.b)
+			if b == 0 {
+				s.abort(prevHead)
+				return nil, fmt.Errorf("dp: sim: division by zero")
 			}
-			def := d.DefOf[o.Reg]
-			if def == nil {
-				return 0
+			v = op.tw.wrap(s.fetch(&op.a) / b)
+		case vm.REM:
+			b := s.fetch(&op.b)
+			if b == 0 {
+				s.abort(prevHead)
+				return nil, fmt.Errorf("dp: sim: modulo by zero")
 			}
-			delta := op.Stage - def.Stage
-			if delta == 0 {
-				return s.cur[def]
+			v = op.tw.wrap(s.fetch(&op.a) % b)
+		case vm.AND:
+			v = op.tw.wrap(s.fetch(&op.a) & s.fetch(&op.b))
+		case vm.IOR:
+			v = op.tw.wrap(s.fetch(&op.a) | s.fetch(&op.b))
+		case vm.XOR:
+			v = op.tw.wrap(s.fetch(&op.a) ^ s.fetch(&op.b))
+		case vm.SHL:
+			v = op.tw.wrap(s.fetch(&op.a) << uint(s.fetch(&op.b)&63))
+		case vm.SHR:
+			a := s.fetch(&op.a)
+			sh := uint(s.fetch(&op.b) & 63)
+			if op.shrLogical {
+				v = op.tw.wrap(int64((uint64(a) & op.shrMask) >> sh))
+			} else {
+				v = op.tw.wrap(a >> sh)
 			}
-			// Value crossed delta stage boundaries: read the pipeline
-			// register chain (delta cycles of history).
-			return s.hist[def][delta-1]
-		}
-		switch op.Instr.Op {
+		case vm.NEG:
+			v = op.tw.wrap(-s.fetch(&op.a))
+		case vm.NOT:
+			v = op.tw.wrap(^s.fetch(&op.a))
+		case vm.SEQ:
+			v = boolBit(s.fetch(&op.a) == s.fetch(&op.b))
+		case vm.SNE:
+			v = boolBit(s.fetch(&op.a) != s.fetch(&op.b))
+		case vm.SLT:
+			v = boolBit(s.fetch(&op.a) < s.fetch(&op.b))
+		case vm.SLE:
+			v = boolBit(s.fetch(&op.a) <= s.fetch(&op.b))
+		case vm.MUX:
+			if s.fetch(&op.a) != 0 {
+				v = op.tw.wrap(s.fetch(&op.b))
+			} else {
+				v = op.tw.wrap(s.fetch(&op.c))
+			}
 		case vm.LPR:
-			s.cur[op] = s.State[op.Instr.State]
+			// Feedback latches bypass hardware-width wrapping: the latch
+			// is exactly as wide as the state variable.
+			ring[int(op.slot)+head] = s.state[op.fb]
+			continue
 		case vm.SNX:
 			// The iteration currently occupying this stage was admitted
-			// op.Stage cycles ago; bubbles do not write the latch.
-			it := s.cycle - op.Stage
-			if it >= 0 && it < len(s.validLog) && s.validLog[it] {
-				staged[op.Instr.State] = op.Instr.Typ.Wrap(val(op.Instr.Srcs[0]))
+			// op.stage cycles ago; bubbles do not write the latch.
+			it := s.cycle - int(op.stage)
+			if it >= 0 && s.validRing[it&rmask] {
+				s.stagedVal[op.fb] = op.tw.wrap(s.fetch(&op.a))
+				s.stagedSet[op.fb] = true
+				staged = true
 			}
+			continue
 		case vm.LUT:
-			ix := val(op.Instr.Srcs[0])
-			if ix < 0 || ix >= int64(op.Instr.Rom.Size) {
-				return nil, fmt.Errorf("dp: sim: LUT index %d out of range for %s", ix, op.Instr.Rom.Name)
+			ix := s.fetch(&op.a)
+			if ix < 0 || ix >= int64(op.rom.Size) {
+				s.abort(prevHead)
+				return nil, fmt.Errorf("dp: sim: LUT index %d out of range for %s", ix, op.rom.Name)
 			}
-			s.cur[op] = op.Instr.Rom.Content[ix]
+			ring[int(op.slot)+head] = op.rom.Content[ix]
+			continue
 		default:
-			v, err := vm.EvalOp(op.Instr, val)
-			if err != nil {
-				return nil, err
-			}
-			// The hardware signal is op.Width bits wide; wrap to the
-			// inferred hardware type to catch width-inference bugs.
-			s.cur[op] = op.HardwareType().Wrap(v)
+			s.abort(prevHead)
+			return nil, fmt.Errorf("dp: sim: unsupported opcode %s", op.opc)
 		}
+		// The hardware signal is op.Width bits wide; wrap to the inferred
+		// hardware type to catch width-inference bugs.
+		ring[int(op.slot)+head] = op.hw.wrap(v)
 	}
-	// Clock edge: shift histories, commit feedback latches.
-	for _, op := range d.Ops {
-		h := s.hist[op]
-		copy(h[1:], h[:len(h)-1])
-		h[0] = s.cur[op]
-	}
-	for v, nv := range staged {
-		s.State[v] = nv
+	// Clock edge: commit feedback latches.
+	if staged {
+		for i := range s.stagedSet {
+			if s.stagedSet[i] {
+				s.stagedSet[i] = false
+				s.state[i] = s.stagedVal[i]
+				s.State[s.fbVars[i]] = s.stagedVal[i]
+			}
+		}
 	}
 	s.cycle++
 	// Output ports are aligned to the pipeline exit: a port whose
 	// defining op sits in an earlier stage is delayed through alignment
 	// registers so all outputs of one iteration appear together.
-	lat := s.Latency()
-	outs := make([]int64, len(d.Outputs))
-	for i, p := range d.Outputs {
-		def := d.DefOf[p.Reg]
-		delta := lat - def.Stage
-		// Histories were just shifted: h[0] is this cycle's value.
-		outs[i] = s.hist[def][delta]
+	for i := range s.outSlots {
+		o := &s.outSlots[i]
+		s.outBuf[i] = ring[int(o.base)+((head+int(o.delta))&rmask)]
 	}
-	return outs, nil
+	return s.outBuf, nil
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Run feeds a sequence of per-iteration input vectors through the

@@ -1,0 +1,182 @@
+package dp
+
+import (
+	"fmt"
+
+	"roccc/internal/hir"
+	"roccc/internal/vm"
+)
+
+// RefSim is the direct, map-based reference implementation of the
+// §4.2.3 cycle-accurate pipeline semantics. It dispatches through the
+// instruction structures on every cycle instead of a compiled plan, so
+// it stays an executable transcription of the paper's model. Sim is the
+// fast implementation; differential tests step both in lockstep and
+// require bit-identical outputs and feedback state.
+type RefSim struct {
+	d *Datapath
+	// hist[op] holds recent output values: hist[op][0] is the value
+	// computed in the previous cycle, [1] two cycles ago, and so on.
+	hist  map[*Op][]int64
+	depth int
+	// State holds the feedback latches.
+	State map[*hir.Var]int64
+	cur   map[*Op]int64
+	cycle int
+	// validLog records, per admitted iteration (== cycle index), whether
+	// it carried real data; bubbles do not commit feedback latches.
+	validLog []bool
+}
+
+// NewRefSim creates a reference simulator with feedback latches reset
+// to their init values.
+func NewRefSim(d *Datapath) *RefSim {
+	s := &RefSim{
+		d:     d,
+		hist:  map[*Op][]int64{},
+		depth: d.Stages + 1,
+		State: map[*hir.Var]int64{},
+		cur:   map[*Op]int64{},
+	}
+	for _, fb := range d.Feedbacks {
+		s.State[fb.State] = fb.State.Type.Wrap(fb.Init)
+	}
+	for _, op := range d.Ops {
+		s.hist[op] = make([]int64, s.depth)
+	}
+	return s
+}
+
+// Cycle returns the number of Steps executed.
+func (s *RefSim) Cycle() int { return s.cycle }
+
+// Latency returns the cycle count between feeding an iteration's inputs
+// and reading its outputs.
+func (s *RefSim) Latency() int { return s.d.Latency() }
+
+// Step advances one clock with real inputs.
+func (s *RefSim) Step(inputs []int64) ([]int64, error) {
+	return s.step(inputs, true)
+}
+
+// Drain advances one clock with a pipeline bubble.
+func (s *RefSim) Drain() ([]int64, error) {
+	return s.step(make([]int64, len(s.d.Inputs)), false)
+}
+
+func (s *RefSim) step(inputs []int64, valid bool) ([]int64, error) {
+	if len(inputs) != len(s.d.Inputs) {
+		return nil, fmt.Errorf("dp: refsim: %d inputs, want %d", len(inputs), len(s.d.Inputs))
+	}
+	s.validLog = append(s.validLog, valid)
+	d := s.d
+	clear(s.cur)
+	// Input pseudo-ops take this cycle's fed values.
+	for i, p := range d.Inputs {
+		s.cur[d.DefOf[p.Reg]] = p.Var.Type.Wrap(inputs[i])
+	}
+	staged := map[*hir.Var]int64{}
+	for _, op := range d.Ops {
+		if op.Node.Kind == InputNode {
+			continue
+		}
+		val := func(o vm.Operand) int64 {
+			if o.IsImm {
+				return o.Imm
+			}
+			def := d.DefOf[o.Reg]
+			if def == nil {
+				return 0
+			}
+			delta := op.Stage - def.Stage
+			if delta == 0 {
+				return s.cur[def]
+			}
+			// Value crossed delta stage boundaries: read the pipeline
+			// register chain (delta cycles of history).
+			return s.hist[def][delta-1]
+		}
+		switch op.Instr.Op {
+		case vm.LPR:
+			s.cur[op] = s.State[op.Instr.State]
+		case vm.SNX:
+			// The iteration currently occupying this stage was admitted
+			// op.Stage cycles ago; bubbles do not write the latch.
+			it := s.cycle - op.Stage
+			if it >= 0 && it < len(s.validLog) && s.validLog[it] {
+				staged[op.Instr.State] = op.Instr.Typ.Wrap(val(op.Instr.Srcs[0]))
+			}
+		case vm.LUT:
+			ix := val(op.Instr.Srcs[0])
+			if ix < 0 || ix >= int64(op.Instr.Rom.Size) {
+				// Discard the failed cycle: histories were not shifted
+				// yet, so dropping the validLog entry restores the
+				// pre-step state exactly (cur is rebuilt every step).
+				s.validLog = s.validLog[:len(s.validLog)-1]
+				return nil, fmt.Errorf("dp: refsim: LUT index %d out of range for %s", ix, op.Instr.Rom.Name)
+			}
+			s.cur[op] = op.Instr.Rom.Content[ix]
+		default:
+			v, err := vm.EvalOp(op.Instr, val)
+			if err != nil {
+				s.validLog = s.validLog[:len(s.validLog)-1]
+				return nil, err
+			}
+			// The hardware signal is op.Width bits wide; wrap to the
+			// inferred hardware type to catch width-inference bugs.
+			s.cur[op] = op.HardwareType().Wrap(v)
+		}
+	}
+	// Clock edge: shift histories, commit feedback latches.
+	for _, op := range d.Ops {
+		h := s.hist[op]
+		copy(h[1:], h[:len(h)-1])
+		h[0] = s.cur[op]
+	}
+	for v, nv := range staged {
+		s.State[v] = nv
+	}
+	s.cycle++
+	// Output ports are aligned to the pipeline exit: a port whose
+	// defining op sits in an earlier stage is delayed through alignment
+	// registers so all outputs of one iteration appear together.
+	lat := s.Latency()
+	outs := make([]int64, len(d.Outputs))
+	for i, p := range d.Outputs {
+		def := d.DefOf[p.Reg]
+		delta := lat - def.Stage
+		// Histories were just shifted: h[0] is this cycle's value.
+		outs[i] = s.hist[def][delta]
+	}
+	return outs, nil
+}
+
+// Run feeds a sequence of per-iteration input vectors through the
+// pipeline (plus drain cycles) and returns one output vector per
+// iteration, aligned with the inputs.
+func (s *RefSim) Run(iters [][]int64) ([][]int64, error) {
+	if len(iters) == 0 {
+		return nil, nil
+	}
+	lat := s.Latency()
+	var outs [][]int64
+	total := len(iters) + lat
+	for c := 0; c < total; c++ {
+		var (
+			o   []int64
+			err error
+		)
+		if c < len(iters) {
+			o, err = s.Step(iters[c])
+		} else {
+			o, err = s.Drain()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if c >= lat {
+			outs = append(outs, o)
+		}
+	}
+	return outs, nil
+}

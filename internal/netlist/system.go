@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"fmt"
+	"math/bits"
 
 	"roccc/internal/ctrl"
 	"roccc/internal/dp"
@@ -31,8 +32,12 @@ type System struct {
 	inputIndex map[*hir.Var]int
 	scalars    map[*hir.Var]int64
 
-	// fedLog mirrors the data-path valid pipeline for output harvesting.
-	fedLog []bool
+	// fedRing mirrors the data-path valid pipeline for output
+	// harvesting: only the last Latency()+1 cycles are ever read, so a
+	// power-of-two ring (indexed by cycle&fedMask) bounds memory on
+	// arbitrarily long runs.
+	fedRing []bool
+	fedMask int
 
 	cycles int
 }
@@ -117,6 +122,10 @@ func NewSystem(k *hir.Kernel, d *dp.Datapath, cfg Config) (*System, error) {
 	}
 	total := int(k.Nest.TotalIterations())
 	sys.ctl = ctrl.NewController(total, d.Latency())
+	// Smallest power of two holding Latency()+1 entries.
+	ringLen := 1 << bits.Len(uint(d.Latency()))
+	sys.fedRing = make([]bool, ringLen)
+	sys.fedMask = ringLen - 1
 	return sys, nil
 }
 
@@ -226,10 +235,10 @@ func (s *System) Run() (*dp.Sim, error) {
 				inputs[s.inputIndex[prm]] = v
 			}
 			iterOdo.advance()
-			s.fedLog = append(s.fedLog, true)
+			s.fedRing[s.cycles&s.fedMask] = true
 			outs, err = sim.Step(inputs)
 		} else {
-			s.fedLog = append(s.fedLog, false)
+			s.fedRing[s.cycles&s.fedMask] = false
 			outs, err = sim.Drain()
 		}
 		if err != nil {
@@ -238,7 +247,7 @@ func (s *System) Run() (*dp.Sim, error) {
 		// 3. Harvest: the outputs visible now belong to the iteration
 		// admitted lat cycles ago.
 		exit := s.cycles - lat
-		if exit >= 0 && exit < len(s.fedLog) && s.fedLog[exit] {
+		if exit >= 0 && s.fedRing[exit&s.fedMask] {
 			for _, wb := range s.writes {
 				addrs := wb.gen.Next()
 				if addrs == nil {

@@ -139,10 +139,7 @@ func EvalOp(in *Instr, val func(Operand) int64) (int64, error) {
 	case SHL:
 		return t.Wrap(a << uint(b&63)), nil
 	case SHR:
-		ot := in.OperandTyp
-		if ot.Bits == 0 {
-			ot = t
-		}
+		ot := in.ShiftOperandType()
 		if !ot.Signed {
 			ua := uint64(a) & (uint64(1)<<uint(ot.Bits) - 1)
 			return t.Wrap(int64(ua >> uint(b&63))), nil

@@ -130,6 +130,18 @@ func (in *Instr) Clone() *Instr {
 	return &cp
 }
 
+// ShiftOperandType resolves the left-operand type that fixes SHR
+// semantics (arithmetic vs logical shift): OperandTyp where the lowerer
+// recorded it, else the result type. The vm interpreter and the
+// compiled data-path simulator both dispatch on it so the two layers
+// cannot drift apart.
+func (in *Instr) ShiftOperandType() cc.IntType {
+	if in.OperandTyp.Bits != 0 {
+		return in.OperandTyp
+	}
+	return in.Typ
+}
+
 // Uses returns the register operands read by the instruction.
 func (in *Instr) Uses() []Reg {
 	var rs []Reg

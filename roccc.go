@@ -5,7 +5,7 @@
 // The library compiles restricted-C kernels into pipelined data paths:
 //
 //	res, err := roccc.Compile(src, "fir", roccc.DefaultOptions())
-//	files := roccc.GenerateVHDL(res)          // RTL VHDL (§4.2.4)
+//	files, err := roccc.GenerateVHDL(res)     // RTL VHDL (§4.2.4)
 //	report := roccc.Synthesize(res, 1)        // Virtex-II area/clock model
 //	sys, _ := roccc.NewSystem(res, roccc.SystemConfig{BusElems: 1})
 //
@@ -18,6 +18,8 @@
 package roccc
 
 import (
+	"fmt"
+
 	"roccc/internal/core"
 	"roccc/internal/dp"
 	"roccc/internal/exp"
@@ -60,14 +62,22 @@ func Compile(src, fname string, opt Options) (*Result, error) {
 
 // GenerateVHDL renders the kernel's complete VHDL file set: the
 // pipelined data path, ROM components with init files, smart buffers,
-// address generators and the controller FSM.
-func GenerateVHDL(res *Result) []VHDLFile {
+// address generators and the controller FSM. Kernels without a
+// streaming loop nest deliberately get no buffer/controller units (a
+// combinational data path needs none); for streaming kernels a buffer
+// configuration failure is a real error and is returned rather than
+// silently producing an incomplete file set.
+func GenerateVHDL(res *Result) ([]VHDLFile, error) {
 	files := vhdl.EmitDatapath(res.Datapath)
-	cfgs, err := synth.KernelBufferConfigs(res.Kernel, 1)
-	if err != nil {
-		cfgs = nil
+	var cfgs []smartbuf.Config
+	if res.Kernel.Nest.Depth() > 0 && len(res.Kernel.Reads) > 0 {
+		var err error
+		cfgs, err = synth.KernelBufferConfigs(res.Kernel, 1)
+		if err != nil {
+			return nil, fmt.Errorf("roccc: smart-buffer configuration for %s: %w", res.Kernel.Name, err)
+		}
 	}
-	return vhdl.EmitKernel(res.Kernel, files, cfgs, res.Datapath.Latency())
+	return vhdl.EmitKernel(res.Kernel, files, cfgs, res.Datapath.Latency()), nil
 }
 
 // Synthesize costs the compiled kernel on the Virtex-II xc2v2000-5

@@ -34,7 +34,10 @@ func TestPublicVHDL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	files := GenerateVHDL(res)
+	files, err := GenerateVHDL(res)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(files) < 4 {
 		t.Fatalf("files = %d, want >= 4 (dp, buffer, addrgen, controller)", len(files))
 	}
