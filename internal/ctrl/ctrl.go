@@ -27,8 +27,15 @@ func NewReadGen(total, busElems int) *ReadGen {
 	return &ReadGen{Total: total, BusElems: busElems}
 }
 
-// Next returns the next batch of addresses (empty once exhausted).
+// Next returns the next batch of addresses (nil once exhausted).
 func (g *ReadGen) Next() []int {
+	return g.NextInto(make([]int, g.BusElems))
+}
+
+// NextInto is Next writing into a caller-provided buffer of at least
+// BusElems capacity (so a cycle loop does not allocate); it returns the
+// filled prefix of dst, or nil once exhausted.
+func (g *ReadGen) NextInto(dst []int) []int {
 	if g.pos >= g.Total {
 		return nil
 	}
@@ -36,12 +43,12 @@ func (g *ReadGen) Next() []int {
 	if g.pos+n > g.Total {
 		n = g.Total - g.pos
 	}
-	addrs := make([]int, n)
-	for i := range addrs {
-		addrs[i] = g.pos + i
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = g.pos + i
 	}
 	g.pos += n
-	return addrs
+	return dst
 }
 
 // Done reports whether all addresses have been issued.
@@ -56,6 +63,9 @@ func (g *ReadGen) Reset() { g.pos = 0 }
 type WriteGen struct {
 	acc  *hir.WriteAccess
 	nest *hir.LoopNest
+	// levels[d] is the nest level of write dimension d, resolved once at
+	// construction instead of by scanning nest.Vars on every address.
+	levels []int
 	// iteration counters per nest level (outermost first).
 	iter []int64
 	done bool
@@ -65,50 +75,49 @@ type WriteGen struct {
 // NewWriteGen builds a write address generator from the front end's
 // write access pattern and loop nest.
 func NewWriteGen(acc *hir.WriteAccess, nest *hir.LoopNest) (*WriteGen, error) {
+	levels := make([]int, len(acc.Dims))
 	for d, dim := range acc.Dims {
 		if dim.Var == nil {
 			return nil, fmt.Errorf("ctrl: write dimension %d of %s is constant", d, acc.Arr.Name)
 		}
-		found := false
-		for _, v := range nest.Vars {
+		levels[d] = -1
+		for l, v := range nest.Vars {
 			if v == dim.Var {
-				found = true
+				levels[d] = l
 			}
 		}
-		if !found {
+		if levels[d] < 0 {
 			return nil, fmt.Errorf("ctrl: write index of %s uses non-nest variable %s", acc.Arr.Name, dim.Var.Name)
 		}
 	}
 	return &WriteGen{
-		acc:  acc,
-		nest: nest,
-		iter: make([]int64, nest.Depth()),
-		dims: acc.Arr.Dims,
+		acc:    acc,
+		nest:   nest,
+		levels: levels,
+		iter:   make([]int64, nest.Depth()),
+		dims:   acc.Arr.Dims,
 	}, nil
-}
-
-// levelOf returns the nest level of v.
-func (g *WriteGen) levelOf(v *hir.Var) int {
-	for l, nv := range g.nest.Vars {
-		if nv == v {
-			return l
-		}
-	}
-	return -1
 }
 
 // Next returns the flattened addresses for the current iteration, one
 // per write element (in acc.Elems order), then advances the iteration.
 // It returns nil when the nest is exhausted.
 func (g *WriteGen) Next() []int {
+	return g.NextInto(make([]int, len(g.acc.Elems)))
+}
+
+// NextInto is Next writing into a caller-provided buffer of at least
+// len(acc.Elems) capacity (so a cycle loop does not allocate); it
+// returns the filled prefix of dst, or nil when the nest is exhausted.
+func (g *WriteGen) NextInto(dst []int) []int {
 	if g.done {
 		return nil
 	}
-	addrs := make([]int, len(g.acc.Elems))
+	addrs := dst[:len(g.acc.Elems)]
 	for ei, elem := range g.acc.Elems {
 		flat := 0
 		for d, dim := range g.acc.Dims {
-			level := g.levelOf(dim.Var)
+			level := g.levels[d]
 			iv := g.nest.From[level] + g.iter[level]*g.nest.Step[level]
 			coord := int(iv*dim.Scale + elem.Offsets[d])
 			if d == 0 && len(g.acc.Dims) == 2 {
@@ -133,6 +142,14 @@ func (g *WriteGen) Next() []int {
 
 // Done reports whether the iteration space is exhausted.
 func (g *WriteGen) Done() bool { return g.done }
+
+// Reset rewinds the generator to the first iteration.
+func (g *WriteGen) Reset() {
+	for l := range g.iter {
+		g.iter[l] = 0
+	}
+	g.done = false
+}
 
 // State enumerates the higher-level controller's FSM states.
 type State int
@@ -223,3 +240,10 @@ func (c *Controller) Collect() {
 
 // Finished reports whether every iteration has been fed and collected.
 func (c *Controller) Finished() bool { return c.state == DoneSt }
+
+// Reset returns the FSM to Idle with no iterations fed or collected.
+func (c *Controller) Reset() {
+	c.state = Idle
+	c.fed = 0
+	c.done = 0
+}

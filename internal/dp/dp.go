@@ -20,6 +20,7 @@ package dp
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"roccc/internal/cc"
 	"roccc/internal/cfg"
@@ -138,6 +139,21 @@ type Datapath struct {
 	// MaxStageDelay the worst realized combinational stage delay (ns).
 	Period        float64
 	MaxStageDelay float64
+
+	// planOnce/plan cache the compiled simulator execution plan
+	// (sim.go): built on the first NewSim over this data path and shared
+	// by every later Sim, so sweep-style repeated NewSim calls skip
+	// recompilation. Keyed by identity of the Datapath itself — the
+	// structure is immutable once built.
+	planOnce sync.Once
+	plan     *simPlan
+}
+
+// simPlanFor returns the data path's compiled simulator plan, compiling
+// it on first use.
+func (d *Datapath) simPlanFor() *simPlan {
+	d.planOnce.Do(func() { d.plan = compileSimPlan(d) })
+	return d.plan
 }
 
 // NumOps returns the number of real compute ops (excluding input pseudo

@@ -24,6 +24,10 @@ type kernelGen struct {
 	decls []string
 	stmts []string
 	tmp   int
+	// divisors, when non-empty, lets expr() emit / and % with one of
+	// these names (kernel input params) as the divisor — the shape that
+	// faults on zero and exercises the bubble/poison semantics.
+	divisors []string
 }
 
 func (g *kernelGen) expr(depth int) string {
@@ -45,6 +49,10 @@ func (g *kernelGen) expr(depth int) string {
 	case 0:
 		return fmt.Sprintf("((%s) >> %d)", a, g.rng.Intn(5))
 	case 1:
+		if len(g.divisors) > 0 && g.rng.Intn(2) == 0 {
+			d := g.divisors[g.rng.Intn(len(g.divisors))]
+			return fmt.Sprintf("((%s) %s (%s))", a, []string{"/", "%"}[g.rng.Intn(2)], d)
+		}
 		return fmt.Sprintf("((%s) << %d)", a, g.rng.Intn(3))
 	case 2:
 		return fmt.Sprintf("((%s) %s (%s) ? (%s) : (%s))",
@@ -72,12 +80,22 @@ func (g *kernelGen) stmt(depth int) {
 
 // generate builds a random kernel with nIn inputs and nOut outputs.
 func generateKernel(rng *rand.Rand, nIn, nStmts, nOut int) (string, int) {
+	return generateKernelDiv(rng, nIn, nStmts, nOut, false)
+}
+
+// generateKernelDiv is generateKernel with optional division/modulo by
+// raw input parameters, so random inputs (and bubbles' zero inputs) can
+// hit divide-by-zero.
+func generateKernelDiv(rng *rand.Rand, nIn, nStmts, nOut int, withDiv bool) (string, int) {
 	g := &kernelGen{rng: rng}
 	var params []string
 	for i := 0; i < nIn; i++ {
 		p := fmt.Sprintf("x%d", i)
 		params = append(params, "int "+p)
 		g.names = append(g.names, p)
+		if withDiv {
+			g.divisors = append(g.divisors, p)
+		}
 	}
 	for i := 0; i < nOut; i++ {
 		params = append(params, fmt.Sprintf("int* o%d", i))
@@ -150,6 +168,137 @@ func TestFuzzPipelineEquivalence(t *testing.T) {
 						ki, period, vi, oi, outs[vi][oi], want[oi], src)
 				}
 			}
+		}
+	}
+}
+
+// TestFuzzBubbleSchedules is the differential harness over random
+// kernels AND random bubble schedules: the compiled Sim and the
+// map-based RefSim are stepped in lockstep through a random mix of real
+// iterations and Drain bubbles and must agree on every output, every
+// error, and the final feedback state. Kernels rotate through three
+// groups pinning the valid/poison semantics from both sides:
+//
+//   - divide-by-input kernels fed nonzero divisors: every bubble pushes
+//     a zero divisor through the divider stage, so the whole schedule
+//     (including the final flush) only completes if poisoned lanes mask
+//     the fault — the seed faulted on the first drain;
+//   - divide-by-input kernels fed occasional zero divisors: a *valid*
+//     divisor-zero iteration must fault — in both cores, on the same
+//     cycle (when it reaches the divider stage, possibly during a
+//     Drain call) — and the aborted cycle must leave both cores in
+//     identical states;
+//   - division-free kernels with zero-heavy inputs: the plain
+//     differential property under random bubbles.
+func TestFuzzBubbleSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	const kernels = 30
+	for ki := 0; ki < kernels; ki++ {
+		group := ki % 3
+		withDiv := group != 2
+		src, _ := generateKernelDiv(rng, 2+rng.Intn(3), 3+rng.Intn(4), 1+rng.Intn(2), withDiv)
+		period := []float64{2.5, 5, 1000}[ki%3]
+		res, err := core.CompileSource(src, "k", core.Options{
+			Optimize: ki%2 == 0,
+			PeriodNs: period,
+		})
+		if err != nil {
+			t.Fatalf("kernel %d failed to compile: %v\n%s", ki, err, src)
+		}
+		fast := dp.NewSim(res.Datapath)
+		ref := dp.NewRefSim(res.Datapath)
+		in := make([]int64, len(res.Datapath.Inputs))
+		zeroOK := group != 0
+		faulted := false
+		for cycle := 0; cycle < 160 && !faulted; cycle++ {
+			var (
+				fo, ro     []int64
+				ferr, rerr error
+				what       string
+			)
+			if rng.Intn(3) == 0 {
+				what = "drain"
+				fo, ferr = fast.Drain()
+				ro, rerr = ref.Drain()
+				if !zeroOK && (ferr != nil || rerr != nil) {
+					// No valid iteration ever divides by zero in this
+					// group, so a fault here means a bubble trapped.
+					t.Fatalf("kernel %d cycle %d: bubble faulted: fast %v, ref %v\n%s",
+						ki, cycle, ferr, rerr, src)
+				}
+			} else {
+				what = "step"
+				for j := range in {
+					// In the zero-divisor group ~1 in 6 inputs is zero, so
+					// divisor-zero iterations occur on valid cycles too.
+					if zeroOK && rng.Intn(6) == 0 {
+						in[j] = 0
+					} else {
+						in[j] = 1 + rng.Int63n(1<<11)
+						if rng.Intn(2) == 0 {
+							in[j] = -in[j]
+						}
+					}
+				}
+				fo, ferr = fast.Step(in)
+				ro, rerr = ref.Step(in)
+			}
+			if (ferr != nil) != (rerr != nil) {
+				t.Fatalf("kernel %d cycle %d (%s): error mismatch: fast %v, ref %v\n%s",
+					ki, cycle, what, ferr, rerr, src)
+			}
+			if ferr != nil {
+				// Both cores aborted the cycle identically; the faulting
+				// iteration stays in flight, so stop the schedule here
+				// and compare the (discarded-cycle) states below.
+				faulted = true
+				continue
+			}
+			for i := range ro {
+				if fo[i] != ro[i] {
+					t.Fatalf("kernel %d cycle %d (%s): output %d: fast %d != ref %d\n%s",
+						ki, cycle, what, i, fo[i], ro[i], src)
+				}
+			}
+		}
+		if !faulted {
+			// Flush the pipeline. In the zero-divisor group a valid
+			// iteration admitted near the end of the schedule may still
+			// reach the divider stage here — a correct fault, which must
+			// occur in both cores on the same drain; in the other groups
+			// no valid iteration can fault, so any flush error means a
+			// bubble trapped.
+			for i := 0; i <= res.Datapath.Stages+1; i++ {
+				fo, ferr := fast.Drain()
+				ro, rerr := ref.Drain()
+				if (ferr != nil) != (rerr != nil) {
+					t.Fatalf("kernel %d flush %d: error mismatch: fast %v, ref %v\n%s",
+						ki, i, ferr, rerr, src)
+				}
+				if ferr != nil {
+					if !zeroOK {
+						t.Fatalf("kernel %d flush %d: bubble faulted: fast %v, ref %v\n%s",
+							ki, i, ferr, rerr, src)
+					}
+					// Both cores hold the faulting iteration in flight;
+					// stop flushing and compare the wedged states below.
+					break
+				}
+				for j := range ro {
+					if fo[j] != ro[j] {
+						t.Fatalf("kernel %d flush %d output %d: fast %d != ref %d\n%s",
+							ki, i, j, fo[j], ro[j], src)
+					}
+				}
+			}
+		}
+		for v, rv := range ref.State {
+			if fv, ok := fast.State[v]; !ok || fv != rv {
+				t.Fatalf("kernel %d: feedback %s: fast %d != ref %d\n%s", ki, v.Name, fast.State[v], rv, src)
+			}
+		}
+		if fast.Cycle() != ref.Cycle() {
+			t.Fatalf("kernel %d: cycle count: fast %d != ref %d", ki, fast.Cycle(), ref.Cycle())
 		}
 	}
 }

@@ -16,21 +16,18 @@ import (
 // from pipeline-register history, which models the latches exactly: any
 // path between two ops crosses the same number of latches.
 //
-// The simulator is compiled: NewSim lowers the data path once into an
+// The simulator is compiled: the data path is lowered once into an
 // integer-indexed execution plan (dense operand descriptors, pre-resolved
 // wrap masks, feedback-latch slots and one flat ring buffer holding every
 // op's register history), so Step is a flat loop over slices with switch
 // dispatch — no map lookups, no closures and zero heap allocations per
-// cycle. RefSim keeps the direct, map-based §4.2.3 semantics; the two are
-// checked bit-identical by differential tests.
+// cycle. The plan is cached on the Datapath itself: repeated NewSim
+// calls over one data path (ablation/unroll sweeps, System reuse) share
+// it and skip recompilation. RefSim keeps the direct, map-based §4.2.3
+// semantics; the two are checked bit-identical by differential tests.
 type Sim struct {
 	d *Datapath
-
-	// Execution plan, fixed after NewSim.
-	plan     []cop
-	inSlots  []inSlot
-	outSlots []outSlot
-	fbVars   []*hir.Var
+	p *simPlan
 
 	// ring holds every op's output history: one rdepth-sized circular
 	// region per op (region base = op index × rdepth). ring[base+head] is
@@ -40,12 +37,17 @@ type Sim struct {
 	rmask int
 	head  int
 	// validRing records, for each of the last rdepth admitted iterations,
-	// whether it carried real data; bubbles do not commit feedback
-	// latches. Indexed by cycle&rmask (bounded, unlike a grow-only log).
+	// whether it carried real data; bubbles are poisoned: they do not
+	// commit feedback latches and mask faulting ops. Indexed by
+	// cycle&rmask (bounded, unlike a grow-only log).
 	validRing []bool
+	// stageValid[st] reports whether the iteration occupying stage st in
+	// the current cycle carries real data; recomputed from validRing at
+	// the top of every step.
+	stageValid []bool
 
-	// Feedback latches, dense (indexed like d.Feedbacks) plus staged
-	// next-cycle values.
+	// Feedback latches, dense (indexed like the plan's latch slots) plus
+	// staged next-cycle values.
 	state     []int64
 	stagedVal []int64
 	stagedSet []bool
@@ -58,6 +60,24 @@ type Sim struct {
 	// variable, refreshed after every commit. The dense plan is
 	// authoritative; mutating this map does not affect the simulation.
 	State map[*hir.Var]int64
+}
+
+// simPlan is the compiled, immutable execution plan shared by every Sim
+// over one Datapath. It carries no per-run state.
+type simPlan struct {
+	plan     []cop
+	inSlots  []inSlot
+	outSlots []outSlot
+	fbVars   []*hir.Var
+	fbInit   []int64
+	// fbName indexes latch slots by state-variable name: the first latch
+	// (in deterministic plan order: d.Feedbacks, then write-only SNX
+	// latches in op order) with each name wins, so name collisions
+	// resolve stably instead of by map iteration order.
+	fbName map[string]int32
+	rdepth int
+	rmask  int
+	stages int
 }
 
 // cOperand is a pre-resolved instruction operand: either an immediate
@@ -102,8 +122,8 @@ type cop struct {
 	tw   wrapSpec // semantic result-type wrap (vm.EvalOp)
 	hw   wrapSpec // inferred hardware-width wrap (§4.2.4)
 	fb   int32    // feedback latch index for LPR/SNX
-	// stage is the op's pipeline stage; SNX uses it to find which
-	// admitted iteration currently occupies the stage.
+	// stage is the op's pipeline stage; it identifies which admitted
+	// iteration the op is working on (valid or bubble) this cycle.
 	stage int32
 	rom   *hir.Rom
 	// SHR semantics, resolved from the left operand's type: logical
@@ -126,19 +146,16 @@ type outSlot struct {
 	delta int32
 }
 
-// NewSim compiles the data path into an execution plan, with feedback
-// latches reset to their init values.
-func NewSim(d *Datapath) *Sim {
+// compileSimPlan lowers the data path into the integer-indexed execution
+// plan. Called once per Datapath through Datapath.simPlanFor.
+func compileSimPlan(d *Datapath) *simPlan {
 	// Smallest power of two holding Stages+1 history entries per op.
 	rdepth := 1 << bits.Len(uint(d.Stages))
-	s := &Sim{
-		d:         d,
-		ring:      make([]int64, len(d.Ops)*rdepth),
-		rmask:     rdepth - 1,
-		validRing: make([]bool, rdepth),
-		outBuf:    make([]int64, len(d.Outputs)),
-		zeroBuf:   make([]int64, len(d.Inputs)),
-		State:     map[*hir.Var]int64{},
+	p := &simPlan{
+		rdepth: rdepth,
+		rmask:  rdepth - 1,
+		stages: d.Stages,
+		fbName: map[string]int32{},
 	}
 
 	opIndex := make(map[*Op]int, len(d.Ops))
@@ -148,23 +165,27 @@ func NewSim(d *Datapath) *Sim {
 	base := func(op *Op) int32 { return int32(opIndex[op] * rdepth) }
 
 	fbIndex := map[*hir.Var]int32{}
-	for i, fb := range d.Feedbacks {
-		init := fb.State.Type.Wrap(fb.Init)
-		s.state = append(s.state, init)
-		s.stagedVal = append(s.stagedVal, 0)
-		s.stagedSet = append(s.stagedSet, false)
-		s.fbVars = append(s.fbVars, fb.State)
-		s.State[fb.State] = init
-		fbIndex[fb.State] = int32(i)
+	addLatch := func(v *hir.Var, init int64) int32 {
+		idx := int32(len(p.fbVars))
+		fbIndex[v] = idx
+		p.fbVars = append(p.fbVars, v)
+		p.fbInit = append(p.fbInit, init)
+		if _, taken := p.fbName[v.Name]; !taken {
+			p.fbName[v.Name] = idx
+		}
+		return idx
+	}
+	for _, fb := range d.Feedbacks {
+		addLatch(fb.State, fb.State.Type.Wrap(fb.Init))
 	}
 
-	for _, p := range d.Inputs {
-		s.inSlots = append(s.inSlots, inSlot{base: base(d.DefOf[p.Reg]), w: makeWrap(p.Var.Type)})
+	for _, port := range d.Inputs {
+		p.inSlots = append(p.inSlots, inSlot{base: base(d.DefOf[port.Reg]), w: makeWrap(port.Var.Type)})
 	}
 	lat := d.Latency()
-	for _, p := range d.Outputs {
-		def := d.DefOf[p.Reg]
-		s.outSlots = append(s.outSlots, outSlot{base: base(def), delta: int32(lat - def.Stage)})
+	for _, port := range d.Outputs {
+		def := d.DefOf[port.Reg]
+		p.outSlots = append(p.outSlots, outSlot{base: base(def), delta: int32(lat - def.Stage)})
 	}
 
 	for _, op := range d.Ops {
@@ -198,12 +219,7 @@ func NewSim(d *Datapath) *Sim {
 				// give it its own latch slot, zero-initialized, so the op
 				// behaves exactly like RefSim's map-keyed staging instead
 				// of aliasing latch 0.
-				idx = int32(len(s.state))
-				fbIndex[op.Instr.State] = idx
-				s.state = append(s.state, 0)
-				s.stagedVal = append(s.stagedVal, 0)
-				s.stagedSet = append(s.stagedSet, false)
-				s.fbVars = append(s.fbVars, op.Instr.State)
+				idx = addLatch(op.Instr.State, 0)
 			}
 			c.fb = idx
 		}
@@ -223,9 +239,49 @@ func NewSim(d *Datapath) *Sim {
 				c.shrMask = uint64(1)<<uint(ot.Bits) - 1
 			}
 		}
-		s.plan = append(s.plan, c)
+		p.plan = append(p.plan, c)
 	}
+	return p
+}
+
+// NewSim instantiates a simulator over the data path's compiled
+// execution plan (compiling it on first use, reusing it afterwards),
+// with feedback latches reset to their init values.
+func NewSim(d *Datapath) *Sim {
+	p := d.simPlanFor()
+	s := &Sim{
+		d:          d,
+		p:          p,
+		ring:       make([]int64, len(d.Ops)*p.rdepth),
+		rmask:      p.rmask,
+		validRing:  make([]bool, p.rdepth),
+		stageValid: make([]bool, p.stages+1),
+		state:      make([]int64, len(p.fbInit)),
+		stagedVal:  make([]int64, len(p.fbInit)),
+		stagedSet:  make([]bool, len(p.fbInit)),
+		outBuf:     make([]int64, len(d.Outputs)),
+		zeroBuf:    make([]int64, len(d.Inputs)),
+		State:      make(map[*hir.Var]int64, len(p.fbVars)),
+	}
+	s.Reset()
 	return s
+}
+
+// Reset returns the simulator to its power-on state — empty pipeline,
+// cycle zero, feedback latches at their init values — without
+// allocating, so one Sim can be reused across runs (System.Reset,
+// sweeps).
+func (s *Sim) Reset() {
+	clear(s.ring)
+	clear(s.validRing)
+	clear(s.stageValid)
+	clear(s.stagedSet)
+	copy(s.state, s.p.fbInit)
+	for i, v := range s.p.fbVars {
+		s.State[v] = s.p.fbInit[i]
+	}
+	s.head = 0
+	s.cycle = 0
 }
 
 // Cycle returns the number of Steps executed.
@@ -235,6 +291,19 @@ func (s *Sim) Cycle() int { return s.cycle }
 // and reading its outputs: outputs fed at Step n are read from the
 // return value of Step n+Latency.
 func (s *Sim) Latency() int { return s.d.Latency() }
+
+// FeedbackByName returns the current value of the feedback latch whose
+// state variable has the given name. The name→latch mapping is built
+// once at plan compile time (first latch in plan order wins on name
+// collisions), so the lookup is O(1) and deterministic — unlike scanning
+// the State map, whose iteration order is random.
+func (s *Sim) FeedbackByName(name string) (int64, bool) {
+	idx, ok := s.p.fbName[name]
+	if !ok {
+		return 0, false
+	}
+	return s.state[idx], true
+}
 
 // Step advances one clock: inputs (one value per data-path input port)
 // enter the pipeline, every stage computes, pipeline registers shift and
@@ -246,10 +315,16 @@ func (s *Sim) Step(inputs []int64) ([]int64, error) {
 	return s.step(inputs, true)
 }
 
-// Drain advances one clock with a pipeline bubble: zero inputs enter and
-// feedback latches are not updated by the bubble when it reaches the SNX
-// stage. Used to flush the last real iterations out of the pipeline.
-// Like Step, the returned slice is reused between calls.
+// Drain advances one clock with a pipeline bubble: zero inputs enter,
+// and the bubble carries a poison bit down the pipeline. A stage
+// occupied by a bubble (or by nothing, before the first admission) is
+// poisoned: its ops cannot fault — division or modulo by zero and LUT
+// index overflow are masked to a zero result instead of trapping, and
+// shifts are width-masked as always — and it never commits feedback
+// latches, exactly as real hardware ignores bubble lanes while flushing
+// (Fig. 2 drain). A fault is raised only when the stage's occupant is a
+// valid iteration. Like Step, the returned slice is reused between
+// calls.
 func (s *Sim) Drain() ([]int64, error) {
 	return s.step(s.zeroBuf, false)
 }
@@ -275,8 +350,8 @@ func (s *Sim) abort(prevHead int) {
 }
 
 func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
-	if len(inputs) != len(s.inSlots) {
-		return nil, fmt.Errorf("dp: sim: %d inputs, want %d", len(inputs), len(s.inSlots))
+	if len(inputs) != len(s.p.inSlots) {
+		return nil, fmt.Errorf("dp: sim: %d inputs, want %d", len(inputs), len(s.p.inSlots))
 	}
 	prevHead := s.head
 	// Rotate the ring one cycle: head now addresses this cycle's slots,
@@ -286,14 +361,24 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 	rmask := s.rmask
 	ring := s.ring
 	s.validRing[s.cycle&rmask] = valid
+	// Poison propagation: the iteration occupying stage st this cycle was
+	// admitted st cycles ago; a stage fed by a bubble (or by nothing yet)
+	// is poisoned for the whole cycle.
+	stageValid := s.stageValid
+	for st := range stageValid {
+		it := s.cycle - st
+		stageValid[st] = it >= 0 && s.validRing[it&rmask]
+	}
 	// Input pseudo-ops take this cycle's fed values.
-	for i := range s.inSlots {
-		sl := &s.inSlots[i]
+	inSlots := s.p.inSlots
+	for i := range inSlots {
+		sl := &inSlots[i]
 		ring[int(sl.base)+head] = sl.w.wrap(inputs[i])
 	}
 	staged := false
-	for i := range s.plan {
-		op := &s.plan[i]
+	plan := s.p.plan
+	for i := range plan {
+		op := &plan[i]
 		var v int64
 		switch op.opc {
 		case vm.LDC, vm.MOV, vm.CVT:
@@ -307,15 +392,21 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 		case vm.DIV:
 			b := s.fetch(&op.b)
 			if b == 0 {
+				if !stageValid[op.stage] {
+					break // poisoned lane: bubble masks the fault
+				}
 				s.abort(prevHead)
-				return nil, fmt.Errorf("dp: sim: division by zero")
+				return nil, fmt.Errorf("dp: sim: division by zero on a valid iteration (cycle %d)", s.cycle)
 			}
 			v = op.tw.wrap(s.fetch(&op.a) / b)
 		case vm.REM:
 			b := s.fetch(&op.b)
 			if b == 0 {
+				if !stageValid[op.stage] {
+					break // poisoned lane: bubble masks the fault
+				}
 				s.abort(prevHead)
-				return nil, fmt.Errorf("dp: sim: modulo by zero")
+				return nil, fmt.Errorf("dp: sim: modulo by zero on a valid iteration (cycle %d)", s.cycle)
 			}
 			v = op.tw.wrap(s.fetch(&op.a) % b)
 		case vm.AND:
@@ -358,10 +449,9 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 			ring[int(op.slot)+head] = s.state[op.fb]
 			continue
 		case vm.SNX:
-			// The iteration currently occupying this stage was admitted
-			// op.stage cycles ago; bubbles do not write the latch.
-			it := s.cycle - int(op.stage)
-			if it >= 0 && s.validRing[it&rmask] {
+			// Only the valid iteration occupying this stage writes the
+			// latch; poisoned bubbles never commit.
+			if stageValid[op.stage] {
 				s.stagedVal[op.fb] = op.tw.wrap(s.fetch(&op.a))
 				s.stagedSet[op.fb] = true
 				staged = true
@@ -370,6 +460,10 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 		case vm.LUT:
 			ix := s.fetch(&op.a)
 			if ix < 0 || ix >= int64(op.rom.Size) {
+				if !stageValid[op.stage] {
+					ring[int(op.slot)+head] = 0 // poisoned lane: masked
+					continue
+				}
 				s.abort(prevHead)
 				return nil, fmt.Errorf("dp: sim: LUT index %d out of range for %s", ix, op.rom.Name)
 			}
@@ -389,7 +483,7 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 			if s.stagedSet[i] {
 				s.stagedSet[i] = false
 				s.state[i] = s.stagedVal[i]
-				s.State[s.fbVars[i]] = s.stagedVal[i]
+				s.State[s.p.fbVars[i]] = s.stagedVal[i]
 			}
 		}
 	}
@@ -397,8 +491,9 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 	// Output ports are aligned to the pipeline exit: a port whose
 	// defining op sits in an earlier stage is delayed through alignment
 	// registers so all outputs of one iteration appear together.
-	for i := range s.outSlots {
-		o := &s.outSlots[i]
+	outSlots := s.p.outSlots
+	for i := range outSlots {
+		o := &outSlots[i]
 		s.outBuf[i] = ring[int(o.base)+((head+int(o.delta))&rmask)]
 	}
 	return s.outBuf, nil

@@ -218,6 +218,140 @@ void divide(int16 a, int16 b, int16* y) {
 	}
 }
 
+// TestDrainPoisonMasksDivide pins the bubble/poison semantics on a
+// divider: drain bubbles feed the divider a zero divisor, which the
+// seed trapped on; poisoned lanes must mask the fault in both
+// simulators, bit-identically, while a divide-by-zero on a valid
+// iteration still errors in both.
+func TestDrainPoisonMasksDivide(t *testing.T) {
+	src := `
+void divmod(int16 a, int16 b, int16* q, int16* r) {
+	*q = a / b;
+	*r = a % b;
+}
+`
+	res, err := core.CompileSource(src, "divmod", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid iterations with nonzero divisors, bubbles interleaved every
+	// other cycle: every bubble pushes a zero divisor down the pipe.
+	rng := rand.New(rand.NewSource(11))
+	vecs := make([][]int64, 64)
+	for i := range vecs {
+		vecs[i] = []int64{rng.Int63n(4096) - 2048, rng.Int63n(200) + 1}
+	}
+	lockstep(t, res.Datapath, "divmod/bubbles", vecs, 2)
+
+	// A zero divisor on a valid iteration is a genuine fault in both.
+	fast := dp.NewSim(res.Datapath)
+	ref := dp.NewRefSim(res.Datapath)
+	if _, err := fast.Step([]int64{7, 0}); err == nil {
+		t.Error("fast: valid divide by zero did not fault")
+	}
+	if _, err := ref.Step([]int64{7, 0}); err == nil {
+		t.Error("ref: valid divide by zero did not fault")
+	}
+	// The faulted cycle was discarded in both: draining from here must
+	// stay bit-identical (and must not fault — the pipeline only holds
+	// bubbles).
+	for i := 0; i < res.Datapath.Stages+2; i++ {
+		fo, ferr := fast.Drain()
+		ro, rerr := ref.Drain()
+		if ferr != nil || rerr != nil {
+			t.Fatalf("drain after fault: fast %v, ref %v", ferr, rerr)
+		}
+		for j := range ro {
+			if fo[j] != ro[j] {
+				t.Fatalf("drain %d output %d: fast %d != ref %d", i, j, fo[j], ro[j])
+			}
+		}
+	}
+}
+
+// TestSimResetReuse pins Sim.Reset: after a reset the simulator must be
+// indistinguishable from a freshly built one — same outputs on the same
+// schedule, feedback latches back at their init values — without
+// recompiling the plan.
+func TestSimResetReuse(t *testing.T) {
+	src := `
+int32 acc;
+void accum(int16 x) {
+	acc = acc + x;
+}
+`
+	res, err := core.CompileSource(src, "accum", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	vecs := randomVectors(res, 50, rng)
+	sim := dp.NewSim(res.Datapath)
+	run := func() ([][]int64, int64) {
+		outs, err := sim.Run(vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, ok := sim.FeedbackByName("acc")
+		if !ok {
+			t.Fatal("no feedback latch named acc")
+		}
+		return outs, sum
+	}
+	first, firstSum := run()
+	sim.Reset()
+	if v, _ := sim.FeedbackByName("acc"); v != 0 {
+		t.Fatalf("acc after Reset = %d, want init 0", v)
+	}
+	if sim.Cycle() != 0 {
+		t.Fatalf("cycle after Reset = %d", sim.Cycle())
+	}
+	second, secondSum := run()
+	if firstSum != secondSum {
+		t.Fatalf("feedback after rerun: %d != %d", secondSum, firstSum)
+	}
+	for i := range first {
+		for j := range first[i] {
+			if first[i][j] != second[i][j] {
+				t.Fatalf("rerun output %d/%d: %d != %d", i, j, second[i][j], first[i][j])
+			}
+		}
+	}
+}
+
+// TestFeedbackByName pins the O(1) name→latch index: it must agree with
+// the State map and reject unknown names.
+func TestFeedbackByName(t *testing.T) {
+	src := `
+int32 acc;
+void accum(int16 x) {
+	acc = acc + x;
+}
+`
+	res, err := core.CompileSource(src, "accum", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := dp.NewSim(res.Datapath)
+	in := []int64{5}
+	for i := 0; i < res.Datapath.Stages+4; i++ {
+		if _, err := sim.Step(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := sim.FeedbackByName("acc")
+	if !ok {
+		t.Fatal("acc not found")
+	}
+	want := sim.State[res.Datapath.Feedbacks[0].State]
+	if got != want {
+		t.Fatalf("FeedbackByName = %d, State map = %d", got, want)
+	}
+	if _, ok := sim.FeedbackByName("no_such_latch"); ok {
+		t.Error("unknown latch name reported found")
+	}
+}
+
 // TestRunMatchesReference keeps the batch API pinned too: Sim.Run and
 // RefSim.Run agree on the FIR kernel.
 func TestRunMatchesReference(t *testing.T) {

@@ -24,7 +24,10 @@ type RefSim struct {
 	cur   map[*Op]int64
 	cycle int
 	// validLog records, per admitted iteration (== cycle index), whether
-	// it carried real data; bubbles do not commit feedback latches.
+	// it carried real data; bubbles are poisoned: they do not commit
+	// feedback latches and mask faulting ops. The log is grow-only (one
+	// bool per cycle) — acceptable for a reference implementation that is
+	// never run at scale; Sim bounds the same information in a ring.
 	validLog []bool
 }
 
@@ -59,9 +62,24 @@ func (s *RefSim) Step(inputs []int64) ([]int64, error) {
 	return s.step(inputs, true)
 }
 
-// Drain advances one clock with a pipeline bubble.
+// Drain advances one clock with a pipeline bubble: zero inputs enter,
+// and the bubble carries a poison bit down the pipeline. A stage
+// occupied by a bubble (or by nothing, before the first admission) is
+// poisoned: its ops cannot fault — division or modulo by zero and LUT
+// index overflow are masked to a zero result instead of trapping — and
+// it never commits feedback latches, exactly as real hardware ignores
+// bubble lanes while flushing (Fig. 2 drain). A fault is raised only
+// when the stage's occupant is a valid iteration.
 func (s *RefSim) Drain() ([]int64, error) {
 	return s.step(make([]int64, len(s.d.Inputs)), false)
+}
+
+// stageIsValid reports whether the iteration occupying the given
+// pipeline stage in the current cycle carries real data; the occupant
+// was admitted stage cycles ago.
+func (s *RefSim) stageIsValid(stage int) bool {
+	it := s.cycle - stage
+	return it >= 0 && it < len(s.validLog) && s.validLog[it]
 }
 
 func (s *RefSim) step(inputs []int64, valid bool) ([]int64, error) {
@@ -100,15 +118,19 @@ func (s *RefSim) step(inputs []int64, valid bool) ([]int64, error) {
 		case vm.LPR:
 			s.cur[op] = s.State[op.Instr.State]
 		case vm.SNX:
-			// The iteration currently occupying this stage was admitted
-			// op.Stage cycles ago; bubbles do not write the latch.
-			it := s.cycle - op.Stage
-			if it >= 0 && it < len(s.validLog) && s.validLog[it] {
+			// Only the valid iteration occupying this stage writes the
+			// latch; poisoned bubbles never commit.
+			if s.stageIsValid(op.Stage) {
 				staged[op.Instr.State] = op.Instr.Typ.Wrap(val(op.Instr.Srcs[0]))
 			}
 		case vm.LUT:
 			ix := val(op.Instr.Srcs[0])
 			if ix < 0 || ix >= int64(op.Instr.Rom.Size) {
+				if !s.stageIsValid(op.Stage) {
+					// Poisoned lane: the bubble masks the fault.
+					s.cur[op] = 0
+					break
+				}
 				// Discard the failed cycle: histories were not shifted
 				// yet, so dropping the validLog entry restores the
 				// pre-step state exactly (cur is rebuilt every step).
@@ -119,8 +141,15 @@ func (s *RefSim) step(inputs []int64, valid bool) ([]int64, error) {
 		default:
 			v, err := vm.EvalOp(op.Instr, val)
 			if err != nil {
-				s.validLog = s.validLog[:len(s.validLog)-1]
-				return nil, err
+				if !s.stageIsValid(op.Stage) {
+					// Poisoned lane: the bubble masks the fault (EvalOp
+					// only errors on division/modulo by zero) to a zero
+					// result, matching Sim bit for bit.
+					v = 0
+				} else {
+					s.validLog = s.validLog[:len(s.validLog)-1]
+					return nil, err
+				}
 			}
 			// The hardware signal is op.Width bits wide; wrap to the
 			// inferred hardware type to catch width-inference bugs.

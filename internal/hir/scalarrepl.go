@@ -3,6 +3,7 @@ package hir
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"roccc/internal/cc"
 )
@@ -191,6 +192,14 @@ type Kernel struct {
 	ScalarParams []*Var
 	// Roms referenced by the data path.
 	Roms []*Rom
+
+	// PlanCache holds opaque compiled artifacts keyed by downstream
+	// packages (e.g. netlist caches its compiled system plan here, keyed
+	// by datapath and bus width). Living on the kernel — rather than in a
+	// global map — the cache is reclaimed exactly when the kernel is,
+	// so sweep-style reuse skips recompilation without pinning every
+	// kernel ever compiled.
+	PlanCache sync.Map
 }
 
 // ExtractKernel runs scalar replacement and feedback detection on f and

@@ -55,6 +55,11 @@ func (m *BRAM) Write(addr int, v int64) error {
 // smart buffer's fetch-once property at system level.
 func (m *BRAM) Stats() (reads, writes int) { return m.reads, m.writes }
 
+// ResetStats zeroes the access counters (the stored data is untouched),
+// so the fetch-once property can be checked per run when a BRAM is
+// reused across System resets.
+func (m *BRAM) ResetStats() { m.reads, m.writes = 0, 0 }
+
 // Engine models the off-chip transfer engine. Transfers are not on the
 // compute critical path (the paper double-buffers them); the engine
 // reports the cycles a transfer would take on a bus moving busElems

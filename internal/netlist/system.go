@@ -15,22 +15,55 @@ import (
 // pipelined data path consumes one window set per cycle, and write
 // address generators place results into output BRAMs. A top-level
 // controller FSM sequences everything.
+//
+// A System is compiled: NewSystem resolves every per-cycle decision that
+// does not depend on data — window-tap→input routing, induction-variable
+// and scalar input positions, the loop-nest odometer, buffer sizes —
+// into a sysPlan of dense integer tables, so the Run cycle loop performs
+// no map lookups and no allocations. Plans are cached by
+// (kernel, datapath, bus width) identity: sweep-style repeated NewSystem
+// calls skip recompilation.
+//
+// Lifecycle: LoadInput → Run → Output/FeedbackValue. Run consumes the
+// address generators and smart buffers, so a second Run without an
+// intervening Reset returns an error instead of silently mis-executing;
+// Reset rewinds everything (without allocating) for the next run.
 type System struct {
 	Kernel   *hir.Kernel
 	Datapath *dp.Datapath
 
 	BusElems int
 
+	plan *sysPlan
+	sim  *dp.Sim
+
 	inBRAMs  map[string]*BRAM
 	outBRAMs map[string]*BRAM
-	buffers  []*smartbuf.Buffer
-	readGens []*ctrl.ReadGen
-	writes   []*writeBinding
-	ctl      *ctrl.Controller
+	// readBRAMs/writeBRAMs are the same BRAMs in plan order, so the cycle
+	// loop indexes instead of hashing names.
+	readBRAMs  []*BRAM
+	writeBRAMs []*BRAM
+	buffers    []*smartbuf.Buffer
+	readGens   []*ctrl.ReadGen
+	writeGens  []*ctrl.WriteGen
+	ctl        *ctrl.Controller
 
-	// input assembly: position of each dp input port.
-	inputIndex map[*hir.Var]int
-	scalars    map[*hir.Var]int64
+	// scalarVals are the scalar parameter values, aligned with
+	// plan.scalarIn.
+	scalarVals []int64
+
+	// Preallocated cycle-loop buffers: the data-path input vector, one
+	// bus word of read addresses and data, per-read window buffers and
+	// per-write address buffers.
+	inputs     []int64
+	readAddrs  []int
+	readWord   []int64
+	winBufs    [][]int64
+	writeAddrs [][]int
+
+	// iter is the dense loop-nest odometer (counters per level,
+	// outermost first); IV values derive from plan.from/step.
+	iter []int64
 
 	// fedRing mirrors the data-path valid pipeline for output
 	// harvesting: only the last Latency()+1 cycles are ever read, so a
@@ -39,14 +72,165 @@ type System struct {
 	fedRing []bool
 	fedMask int
 
-	cycles int
+	cycles    int
+	started   bool
+	completed bool
 }
 
-type writeBinding struct {
-	gen  *ctrl.WriteGen
-	bram *BRAM
-	// outIdx maps each write element to its dp output position.
-	outIdx []int
+// sysPlan is the compiled, immutable part of a System, shared by every
+// System over the same (kernel, datapath, bus width) triple.
+type sysPlan struct {
+	reads    []readPlan
+	writes   []writePlan
+	ivs      []ivPlan
+	scalarIn []int // dp input index per Kernel.ScalarParams entry (-1: unused)
+	total    int   // loop nest iterations
+	latency  int
+	fedMask  int
+	// Dense loop nest: level l counts iter[l] in [0,trips[l]) and the IV
+	// value is from[l] + iter[l]*step[l].
+	from, step []int64
+	trips      []int64
+}
+
+// readPlan compiles one input window: its smart-buffer configuration and
+// the dense routing table from window taps to data-path input ports.
+type readPlan struct {
+	cfg      smartbuf.Config
+	arrName  string
+	arrLen   int
+	elemBits int
+	route    []int // window tap index -> dp input index (-1: unused)
+}
+
+// ivPlan routes one loop induction variable into a data-path input.
+type ivPlan struct {
+	in    int // dp input index
+	level int // nest level
+}
+
+// writePlan compiles one output access pattern: the BRAM geometry and
+// the dense routing table from write elements to data-path outputs.
+type writePlan struct {
+	acc      *hir.WriteAccess
+	arrName  string
+	arrLen   int
+	elemBits int
+	outIdx   []int // write element -> dp output index
+}
+
+type planKey struct {
+	d   *dp.Datapath
+	bus int
+}
+
+// planFor returns the compiled system plan for (kernel, datapath, bus),
+// building it on first use. Plans are cached on the kernel itself
+// (hir.Kernel.PlanCache) rather than in a package-global map, so sweeps
+// that rebuild the System for the same compiled kernel (ablation and
+// unroll studies, benchmarks) skip recompilation while the cache is
+// reclaimed together with the kernel — nothing outlives its key.
+func planFor(k *hir.Kernel, d *dp.Datapath, bus int) (*sysPlan, error) {
+	key := planKey{d: d, bus: bus}
+	if p, ok := k.PlanCache.Load(key); ok {
+		return p.(*sysPlan), nil
+	}
+	p, err := compileSysPlan(k, d, bus)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := k.PlanCache.LoadOrStore(key, p)
+	return actual.(*sysPlan), nil
+}
+
+// compileSysPlan resolves every data-independent per-cycle decision into
+// dense integer tables.
+func compileSysPlan(k *hir.Kernel, d *dp.Datapath, bus int) (*sysPlan, error) {
+	inputIndex := make(map[*hir.Var]int, len(d.Inputs))
+	for i, p := range d.Inputs {
+		inputIndex[p.Var] = i
+	}
+	outIndex := make(map[*hir.Var]int, len(d.Outputs))
+	for i, p := range d.Outputs {
+		outIndex[p.Var] = i
+	}
+	p := &sysPlan{
+		total:   int(k.Nest.TotalIterations()),
+		latency: d.Latency(),
+	}
+	// Dense loop nest.
+	for l := range k.Nest.Vars {
+		p.from = append(p.from, k.Nest.From[l])
+		p.step = append(p.step, k.Nest.Step[l])
+		p.trips = append(p.trips, k.Nest.Trips(l))
+	}
+	// Read side: one window per input array.
+	for _, w := range k.Reads {
+		bcfg, err := smartbuf.ConfigFor(w, &k.Nest, bus)
+		if err != nil {
+			return nil, err
+		}
+		rp := readPlan{
+			cfg:      bcfg,
+			arrName:  w.Arr.Name,
+			arrLen:   w.Arr.Len(),
+			elemBits: w.Arr.Elem.Bits,
+			route:    make([]int, len(w.Elems)),
+		}
+		for ei, e := range w.Elems {
+			ix, ok := inputIndex[e.Elem]
+			if !ok {
+				ix = -1 // window tap unused by the data path (e.g. DCE'd)
+			}
+			rp.route[ei] = ix
+		}
+		p.reads = append(p.reads, rp)
+	}
+	// Write side.
+	for _, acc := range k.Writes {
+		wp := writePlan{
+			acc:      acc,
+			arrName:  acc.Arr.Name,
+			arrLen:   acc.Arr.Len(),
+			elemBits: acc.Arr.Elem.Bits,
+		}
+		for _, e := range acc.Elems {
+			ix, ok := outIndex[e.Elem]
+			if !ok {
+				return nil, fmt.Errorf("netlist: write element %s has no dp output", e.Elem.Name)
+			}
+			wp.outIdx = append(wp.outIdx, ix)
+		}
+		p.writes = append(p.writes, wp)
+	}
+	// Induction-variable inputs.
+	for lv, in := range k.IVInputs {
+		ix, ok := inputIndex[in]
+		if !ok {
+			continue // IV input eliminated from the data path
+		}
+		level := -1
+		for l, v := range k.Nest.Vars {
+			if v == lv {
+				level = l
+			}
+		}
+		if level < 0 {
+			return nil, fmt.Errorf("netlist: IV input %s is not a nest variable", lv.Name)
+		}
+		p.ivs = append(p.ivs, ivPlan{in: ix, level: level})
+	}
+	// Scalar parameters (values bind at NewSystem, positions here).
+	for _, prm := range k.ScalarParams {
+		ix, ok := inputIndex[prm]
+		if !ok {
+			ix = -1
+		}
+		p.scalarIn = append(p.scalarIn, ix)
+	}
+	// Smallest power of two holding Latency()+1 entries.
+	p.fedMask = 1<<bits.Len(uint(p.latency)) - 1
+	return p, nil
 }
 
 // Config for system construction.
@@ -65,67 +249,56 @@ func NewSystem(k *hir.Kernel, d *dp.Datapath, cfg Config) (*System, error) {
 	if k.Nest.Depth() == 0 {
 		return nil, fmt.Errorf("netlist: kernel %s has no loop nest; simulate its data path directly", k.Name)
 	}
+	plan, err := planFor(k, d, cfg.BusElems)
+	if err != nil {
+		return nil, err
+	}
 	sys := &System{
-		Kernel:     k,
-		Datapath:   d,
-		BusElems:   cfg.BusElems,
-		inBRAMs:    map[string]*BRAM{},
-		outBRAMs:   map[string]*BRAM{},
-		inputIndex: map[*hir.Var]int{},
-		scalars:    map[*hir.Var]int64{},
+		Kernel:    k,
+		Datapath:  d,
+		BusElems:  cfg.BusElems,
+		plan:      plan,
+		sim:       dp.NewSim(d),
+		inBRAMs:   map[string]*BRAM{},
+		outBRAMs:  map[string]*BRAM{},
+		inputs:    make([]int64, len(d.Inputs)),
+		readAddrs: make([]int, cfg.BusElems),
+		readWord:  make([]int64, cfg.BusElems),
+		iter:      make([]int64, len(plan.from)),
+		fedRing:   make([]bool, plan.fedMask+1),
+		fedMask:   plan.fedMask,
 	}
-	for i, p := range d.Inputs {
-		sys.inputIndex[p.Var] = i
-	}
-	outIndex := map[*hir.Var]int{}
-	for i, p := range d.Outputs {
-		outIndex[p.Var] = i
-	}
-	// Read side: one BRAM + address generator + smart buffer per window.
-	for _, w := range k.Reads {
-		bcfg, err := smartbuf.ConfigFor(w, &k.Nest, cfg.BusElems)
+	for _, rp := range plan.reads {
+		buf, err := smartbuf.New(rp.cfg)
 		if err != nil {
 			return nil, err
 		}
-		buf, err := smartbuf.New(bcfg)
-		if err != nil {
-			return nil, err
-		}
+		bram := NewBRAM(rp.arrName, rp.arrLen, rp.elemBits)
 		sys.buffers = append(sys.buffers, buf)
-		sys.readGens = append(sys.readGens, ctrl.NewReadGen(w.Arr.Len(), cfg.BusElems))
-		sys.inBRAMs[w.Arr.Name] = NewBRAM(w.Arr.Name, w.Arr.Len(), w.Arr.Elem.Bits)
+		sys.readGens = append(sys.readGens, ctrl.NewReadGen(rp.arrLen, cfg.BusElems))
+		sys.readBRAMs = append(sys.readBRAMs, bram)
+		sys.inBRAMs[rp.arrName] = bram
+		sys.winBufs = append(sys.winBufs, make([]int64, buf.Taps()))
 	}
-	// Write side.
-	for _, acc := range k.Writes {
-		gen, err := ctrl.NewWriteGen(acc, &k.Nest)
+	for _, wp := range plan.writes {
+		gen, err := ctrl.NewWriteGen(wp.acc, &k.Nest)
 		if err != nil {
 			return nil, err
 		}
-		wb := &writeBinding{gen: gen, bram: NewBRAM(acc.Arr.Name, acc.Arr.Len(), acc.Arr.Elem.Bits)}
-		for _, e := range acc.Elems {
-			ix, ok := outIndex[e.Elem]
-			if !ok {
-				return nil, fmt.Errorf("netlist: write element %s has no dp output", e.Elem.Name)
-			}
-			wb.outIdx = append(wb.outIdx, ix)
-		}
-		sys.outBRAMs[acc.Arr.Name] = wb.bram
-		sys.writes = append(sys.writes, wb)
+		bram := NewBRAM(wp.arrName, wp.arrLen, wp.elemBits)
+		sys.writeGens = append(sys.writeGens, gen)
+		sys.writeBRAMs = append(sys.writeBRAMs, bram)
+		sys.outBRAMs[wp.arrName] = bram
+		sys.writeAddrs = append(sys.writeAddrs, make([]int, len(wp.outIdx)))
 	}
-	// Scalar parameters.
 	for _, prm := range k.ScalarParams {
 		v, ok := cfg.Scalars[prm.Name]
 		if !ok {
 			return nil, fmt.Errorf("netlist: missing value for scalar parameter %q", prm.Name)
 		}
-		sys.scalars[prm] = v
+		sys.scalarVals = append(sys.scalarVals, v)
 	}
-	total := int(k.Nest.TotalIterations())
-	sys.ctl = ctrl.NewController(total, d.Latency())
-	// Smallest power of two holding Latency()+1 entries.
-	ringLen := 1 << bits.Len(uint(d.Latency()))
-	sys.fedRing = make([]bool, ringLen)
-	sys.fedMask = ringLen - 1
+	sys.ctl = ctrl.NewController(plan.total, plan.latency)
 	return sys, nil
 }
 
@@ -139,11 +312,16 @@ func (s *System) LoadInput(name string, vals []int64) error {
 	return nil
 }
 
-// Output returns the contents of an output BRAM after Run.
+// Output returns the contents of an output BRAM. It errors until a Run
+// has completed: before that the BRAM holds all-zero (or stale) data
+// indistinguishable from a real result.
 func (s *System) Output(name string) ([]int64, error) {
 	m, ok := s.outBRAMs[name]
 	if !ok {
 		return nil, fmt.Errorf("netlist: no output array %q", name)
+	}
+	if !s.completed {
+		return nil, fmt.Errorf("netlist: Output(%q) before a completed Run", name)
 	}
 	cp := make([]int64, len(m.Data))
 	copy(cp, m.Data)
@@ -154,31 +332,65 @@ func (s *System) Output(name string) ([]int64, error) {
 func (s *System) Cycles() int { return s.cycles }
 
 // FeedbackValue returns a feedback latch's final value (e.g. the
-// accumulator sum after the loop).
+// accumulator sum after the loop). The lookup uses the simulator's
+// precompiled name→latch index: O(1) and deterministic under name
+// collisions (first latch in plan order wins), unlike scanning a map.
 func (s *System) FeedbackValue(sim *dp.Sim, name string) (int64, bool) {
-	for v, val := range sim.State {
-		if v.Name == name {
-			return val, true
-		}
+	return sim.FeedbackByName(name)
+}
+
+// Reset rewinds the system to its pre-Run state without allocating:
+// address generators, smart buffers, the controller FSM, the data-path
+// simulator and all cycle bookkeeping restart from zero. Input BRAM
+// contents are kept (reload with LoadInput to change them); output BRAM
+// contents are cleared; BRAM access counters restart so per-run
+// properties (fetch-once) stay checkable.
+func (s *System) Reset() {
+	for _, g := range s.readGens {
+		g.Reset()
 	}
-	return 0, false
+	for _, g := range s.writeGens {
+		g.Reset()
+	}
+	for _, b := range s.buffers {
+		b.Reset()
+	}
+	for _, m := range s.readBRAMs {
+		m.ResetStats()
+	}
+	for _, m := range s.writeBRAMs {
+		m.ResetStats()
+		clear(m.Data)
+	}
+	s.ctl.Reset()
+	s.sim.Reset()
+	clear(s.fedRing)
+	clear(s.iter)
+	s.cycles = 0
+	s.started = false
+	s.completed = false
 }
 
 // Run executes the whole kernel: it streams every array element from
 // BRAM through the smart buffers exactly once, pushes one iteration per
 // cycle into the data path when windows are ready, and writes results
 // back. It returns the data-path simulator (for feedback state) and the
-// consumed cycle count.
+// consumed cycle count. Pipeline bubbles (fill and drain cycles) are
+// poisoned in the data path, so kernels with input-dependent divisors do
+// not fault while flushing; a genuine fault on a valid iteration still
+// aborts the run. Run consumes the system's generators and buffers: call
+// Reset before running again.
 func (s *System) Run() (*dp.Sim, error) {
-	sim := dp.NewSim(s.Datapath)
-	d := s.Datapath
-	k := s.Kernel
-	lat := d.Latency()
-	total := int(k.Nest.TotalIterations())
+	if s.started {
+		return nil, fmt.Errorf("netlist: System.Run called again without Reset (address generators and smart buffers were consumed by the previous run)")
+	}
+	s.started = true
+	p := s.plan
+	lat := p.latency
+	total := p.total
 	harvested := 0
-	iterOdo := newOdometer(&k.Nest)
 	limit := 4*total + 16*(lat+2) + 64
-	inputs := make([]int64, len(d.Inputs))
+	inputs := s.inputs
 
 	for harvested < total {
 		if s.cycles > limit {
@@ -191,9 +403,9 @@ func (s *System) Run() (*dp.Sim, error) {
 			if gen.Done() || !buf.CanAccept() {
 				continue // backpressure: window data still live
 			}
-			addrs := gen.Next()
-			word := make([]int64, len(addrs))
-			bram := s.inBRAMs[k.Reads[i].Arr.Name]
+			addrs := gen.NextInto(s.readAddrs)
+			word := s.readWord[:len(addrs)]
+			bram := s.readBRAMs[i]
 			for j, a := range addrs {
 				v, err := bram.Read(a)
 				if err != nil {
@@ -216,30 +428,32 @@ func (s *System) Run() (*dp.Sim, error) {
 		var outs []int64
 		var err error
 		if feed {
-			for j := range inputs {
-				inputs[j] = 0
-			}
+			clear(inputs)
 			for bi, buf := range s.buffers {
-				win, err := buf.PopWindow()
-				if err != nil {
+				win := s.winBufs[bi]
+				if err := buf.PopWindowInto(win); err != nil {
 					return nil, err
 				}
-				for ei, e := range k.Reads[bi].Elems {
-					inputs[s.inputIndex[e.Elem]] = win[ei]
+				for ei, ix := range p.reads[bi].route {
+					if ix >= 0 {
+						inputs[ix] = win[ei]
+					}
 				}
 			}
-			for lv, in := range k.IVInputs {
-				inputs[s.inputIndex[in]] = iterOdo.value(lv)
+			for _, iv := range p.ivs {
+				inputs[iv.in] = p.from[iv.level] + s.iter[iv.level]*p.step[iv.level]
 			}
-			for prm, v := range s.scalars {
-				inputs[s.inputIndex[prm]] = v
+			for si, ix := range p.scalarIn {
+				if ix >= 0 {
+					inputs[ix] = s.scalarVals[si]
+				}
 			}
-			iterOdo.advance()
+			s.advanceOdometer()
 			s.fedRing[s.cycles&s.fedMask] = true
-			outs, err = sim.Step(inputs)
+			outs, err = s.sim.Step(inputs)
 		} else {
 			s.fedRing[s.cycles&s.fedMask] = false
-			outs, err = sim.Drain()
+			outs, err = s.sim.Drain()
 		}
 		if err != nil {
 			return nil, err
@@ -248,13 +462,15 @@ func (s *System) Run() (*dp.Sim, error) {
 		// admitted lat cycles ago.
 		exit := s.cycles - lat
 		if exit >= 0 && s.fedRing[exit&s.fedMask] {
-			for _, wb := range s.writes {
-				addrs := wb.gen.Next()
+			for wi := range s.writeGens {
+				addrs := s.writeGens[wi].NextInto(s.writeAddrs[wi])
 				if addrs == nil {
 					return nil, fmt.Errorf("netlist: write generator exhausted early")
 				}
+				outIdx := p.writes[wi].outIdx
+				bram := s.writeBRAMs[wi]
 				for ei, a := range addrs {
-					if err := wb.bram.Write(a, outs[wb.outIdx[ei]]); err != nil {
+					if err := bram.Write(a, outs[outIdx[ei]]); err != nil {
 						return nil, err
 					}
 				}
@@ -264,35 +480,18 @@ func (s *System) Run() (*dp.Sim, error) {
 		}
 		s.cycles++
 	}
-	return sim, nil
+	s.completed = true
+	return s.sim, nil
 }
 
-// odometer walks the loop nest iteration space in row-major order,
-// mirroring the smart buffer's window order.
-type odometer struct {
-	nest *hir.LoopNest
-	iter []int64
-}
-
-func newOdometer(nest *hir.LoopNest) *odometer {
-	return &odometer{nest: nest, iter: make([]int64, nest.Depth())}
-}
-
-func (o *odometer) value(v *hir.Var) int64 {
-	for l, nv := range o.nest.Vars {
-		if nv == v {
-			return o.nest.From[l] + o.iter[l]*o.nest.Step[l]
-		}
-	}
-	return 0
-}
-
-func (o *odometer) advance() {
-	for l := o.nest.Depth() - 1; l >= 0; l-- {
-		o.iter[l]++
-		if o.iter[l] < o.nest.Trips(l) {
+// advanceOdometer walks the loop nest iteration space in row-major
+// order, mirroring the smart buffer's window order.
+func (s *System) advanceOdometer() {
+	for l := len(s.iter) - 1; l >= 0; l-- {
+		s.iter[l]++
+		if s.iter[l] < s.plan.trips[l] {
 			return
 		}
-		o.iter[l] = 0
+		s.iter[l] = 0
 	}
 }

@@ -300,6 +300,171 @@ func TestEngineCycles(t *testing.T) {
 	}
 }
 
+const dividerSource = `
+int A[24];
+int B[24];
+int Q[24];
+void divide() {
+	int i;
+	for (i = 0; i < 24; i++) {
+		Q[i] = A[i] / B[i];
+	}
+}
+`
+
+// TestSystemDividerDrainBubbles is the poison-semantics acceptance test:
+// a kernel with an input-dependent divisor must run end to end through
+// System.Run even though every fill/drain bubble feeds the divider a
+// zero divisor. The seed simulator faulted with "division by zero"
+// mid-flush; poisoned bubbles now mask the fault, and the harvested
+// outputs still match software exactly.
+func TestSystemDividerDrainBubbles(t *testing.T) {
+	_, sys := buildSystem(t, dividerSource, "divide", core.DefaultOptions(), Config{BusElems: 1})
+	rng := rand.New(rand.NewSource(9))
+	a := make([]int64, 24)
+	b := make([]int64, 24)
+	for i := range a {
+		a[i] = rng.Int63n(2000) - 1000
+		b[i] = rng.Int63n(99) + 1 // valid iterations divide by nonzero
+		if rng.Intn(2) == 0 {
+			b[i] = -b[i]
+		}
+	}
+	if err := sys.LoadInput("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadInput("B", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatalf("Run with drain bubbles faulted: %v", err)
+	}
+	got, err := sys.Output("Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := runInterp(t, dividerSource, "divide", map[string][]int64{"A": a, "B": b})
+	want := ip.Arrays["Q"]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Q[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSystemDividerValidFault pins the other half of the poison
+// contract: a divide-by-zero on a *valid* iteration is a genuine fault
+// and must still abort the run.
+func TestSystemDividerValidFault(t *testing.T) {
+	_, sys := buildSystem(t, dividerSource, "divide", core.DefaultOptions(), Config{BusElems: 1})
+	a := make([]int64, 24)
+	b := make([]int64, 24)
+	for i := range a {
+		a[i] = int64(i + 1)
+		b[i] = 3
+	}
+	b[11] = 0 // valid iteration 11 divides by zero
+	if err := sys.LoadInput("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadInput("B", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err == nil {
+		t.Fatal("divide by zero on a valid iteration did not fault")
+	}
+}
+
+// TestSystemRunTwiceGuarded pins the Run lifecycle: the seed silently
+// mis-executed a second Run (generators already consumed, cycles stale);
+// now it returns a clear error, and Reset rearms the system for a
+// bit-identical rerun on fresh data.
+func TestSystemRunTwiceGuarded(t *testing.T) {
+	_, sys := buildSystem(t, firSource, "fir", core.DefaultOptions(), Config{BusElems: 1})
+	rng := rand.New(rand.NewSource(21))
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	if err := sys.LoadInput("A", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := sys.Output("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstCycles := sys.Cycles()
+	if _, err := sys.Run(); err == nil {
+		t.Fatal("second Run without Reset did not error")
+	}
+	// Reset + reload different data: the rerun must match software again
+	// and burn the same cycle count.
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	sys.Reset()
+	if err := sys.LoadInput("A", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+	got, err := sys.Output("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := runInterp(t, firSource, "fir", map[string][]int64{"A": in})
+	want := ip.Arrays["C"]
+	same := len(first) == len(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rerun C[%d] = %d, want %d", i, got[i], want[i])
+		}
+		if same && got[i] != first[i] {
+			same = false
+		}
+	}
+	if sys.Cycles() != firstCycles {
+		t.Errorf("rerun cycles = %d, first run %d", sys.Cycles(), firstCycles)
+	}
+	// Fetch-once property must hold per run after Reset.
+	reads, _ := sys.inBRAMs["A"].Stats()
+	if reads != 21 {
+		t.Errorf("rerun BRAM reads = %d, want 21", reads)
+	}
+}
+
+// TestSystemOutputBeforeRun: reading an output BRAM before a completed
+// run used to return all-zero data indistinguishable from a real
+// result; it must be an error.
+func TestSystemOutputBeforeRun(t *testing.T) {
+	_, sys := buildSystem(t, firSource, "fir", core.DefaultOptions(), Config{BusElems: 1})
+	if _, err := sys.Output("C"); err == nil {
+		t.Fatal("Output before Run did not error")
+	}
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	if err := sys.LoadInput("A", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Output("C"); err != nil {
+		t.Fatalf("Output after Run: %v", err)
+	}
+	// After Reset the previous results are gone again.
+	sys.Reset()
+	if _, err := sys.Output("C"); err == nil {
+		t.Fatal("Output after Reset (before rerun) did not error")
+	}
+}
+
 // TestSystemFusedLoops runs loop fusion through the complete pipeline:
 // two adjacent filters fused into one kernel with two read windows and
 // two write patterns, streamed through one controller.

@@ -219,10 +219,23 @@ func (b *Buffer) lastIndexOfWindow() int {
 // slides the window by the stride: innermost dimension first, wrapping
 // to the next row-strip for 2-D patterns.
 func (b *Buffer) PopWindow() ([]int64, error) {
-	if !b.WindowReady() {
-		return nil, fmt.Errorf("smartbuf: window not ready")
-	}
 	out := make([]int64, len(b.cfg.Taps))
+	if err := b.PopWindowInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PopWindowInto is PopWindow writing into a caller-provided buffer of
+// exactly len(cfg.Taps) elements, so a cycle loop popping one window per
+// clock does not allocate.
+func (b *Buffer) PopWindowInto(out []int64) error {
+	if len(out) != len(b.cfg.Taps) {
+		return fmt.Errorf("smartbuf: window buffer holds %d elements, want %d taps", len(out), len(b.cfg.Taps))
+	}
+	if !b.WindowReady() {
+		return fmt.Errorf("smartbuf: window not ready")
+	}
 	for i, tap := range b.cfg.Taps {
 		var idx int
 		switch len(b.cfg.Extent) {
@@ -235,7 +248,7 @@ func (b *Buffer) PopWindow() ([]int64, error) {
 		}
 		v, err := b.at(idx)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = v
 	}
@@ -249,7 +262,22 @@ func (b *Buffer) PopWindow() ([]int64, error) {
 		b.popped[0]++
 		b.win[0] += b.cfg.Stride[0]
 	}
-	return out, nil
+	return nil
+}
+
+// Taps returns the number of window taps a popped window exports — the
+// required length of a PopWindowInto destination buffer.
+func (b *Buffer) Taps() int { return len(b.cfg.Taps) }
+
+// Reset empties the buffer and rewinds the window walk to the first
+// window, without allocating, so one buffer can be reused across runs.
+func (b *Buffer) Reset() {
+	b.count = 0
+	b.fetched = 0
+	copy(b.win, b.cfg.Origin)
+	for i := range b.popped {
+		b.popped[i] = 0
+	}
 }
 
 // WindowsTotal returns how many windows the configuration produces.

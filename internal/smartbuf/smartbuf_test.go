@@ -315,3 +315,65 @@ func TestWindowEquivalenceQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPopWindowIntoAndReset pins the allocation-free window export used
+// by the netlist cycle loop: PopWindowInto fills a caller buffer of
+// exactly Taps() elements (and rejects any other size), and Reset
+// rewinds the buffer for an identical second pass over fresh data.
+func TestPopWindowIntoAndReset(t *testing.T) {
+	b, err := New(fir5(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PopWindowInto(make([]int64, 3)); err == nil {
+		t.Error("undersized window buffer not rejected")
+	}
+	run := func(scale int64) [][]int64 {
+		data := make([]int64, 21)
+		for i := range data {
+			data[i] = int64(i) * scale
+		}
+		win := make([]int64, b.Taps())
+		var got [][]int64
+		pos := 0
+		for !b.Done() {
+			if b.WindowReady() {
+				if err := b.PopWindowInto(win); err != nil {
+					t.Fatal(err)
+				}
+				cp := make([]int64, len(win))
+				copy(cp, win)
+				got = append(got, cp)
+				continue
+			}
+			if err := b.Push(data[pos : pos+1]); err != nil {
+				t.Fatal(err)
+			}
+			pos++
+		}
+		return got
+	}
+	first := run(3)
+	if len(first) != 17 {
+		t.Fatalf("windows = %d, want 17", len(first))
+	}
+	if b.Fetched() != 21 {
+		t.Fatalf("fetched = %d, want 21 (each element once)", b.Fetched())
+	}
+	b.Reset()
+	if b.Fetched() != 0 || b.Done() {
+		t.Fatal("Reset did not rewind the buffer")
+	}
+	second := run(7)
+	if len(second) != 17 {
+		t.Fatalf("windows after Reset = %d, want 17", len(second))
+	}
+	for wi := range second {
+		for ti := range second[wi] {
+			want := int64(wi+ti) * 7
+			if second[wi][ti] != want {
+				t.Fatalf("window %d tap %d after Reset = %d, want %d", wi, ti, second[wi][ti], want)
+			}
+		}
+	}
+}

@@ -15,6 +15,15 @@
 // mux and pipe nodes (§4.2.2) → latch placement (§4.2.3) → bit-width
 // inference and VHDL generation (§4.2.4). Generated circuits are
 // cycle-accurately simulated and verified against the C semantics.
+//
+// Simulation follows hardware drain semantics: pipeline bubbles (fill
+// and drain cycles) carry a poison bit, so ops fed by a bubble cannot
+// fault — a zero divisor or out-of-range LUT index in a bubble lane is
+// masked, exactly as real hardware ignores bubble lanes while flushing —
+// while the same fault on a valid iteration still aborts the run. A
+// System runs once per Reset: Run a second time without Reset is an
+// error (its address generators and buffers are consumed), and Output
+// errors until a run has completed.
 package roccc
 
 import (
@@ -48,8 +57,13 @@ type System = netlist.System
 // SystemConfig configures system construction.
 type SystemConfig = netlist.Config
 
-// Sim is the cycle-accurate data-path simulator.
+// Sim is the cycle-accurate data-path simulator (the compiled,
+// allocation-free core).
 type Sim = dp.Sim
+
+// RefSim is the direct, map-based reference simulator with identical
+// semantics; differential tests step both in lockstep.
+type RefSim = dp.RefSim
 
 // DefaultOptions returns the standard optimizing configuration.
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -101,8 +115,14 @@ func NewSystem(res *Result, cfg SystemConfig) (*System, error) {
 }
 
 // NewSim builds a cycle-accurate simulator for the data path alone
-// (combinational kernels and unit tests).
+// (combinational kernels and unit tests). The data path's execution
+// plan is compiled once and cached on it, so repeated NewSim calls in
+// sweeps skip recompilation.
 func NewSim(res *Result) *Sim { return dp.NewSim(res.Datapath) }
+
+// NewRefSim builds the map-based reference simulator for differential
+// checking against NewSim.
+func NewRefSim(res *Result) *RefSim { return dp.NewRefSim(res.Datapath) }
 
 // BufferConfig derives the smart-buffer configuration for read window i
 // of a compiled kernel.
