@@ -26,8 +26,18 @@ import (
 func BenchmarkTable1(b *testing.B) {
 	kernels := bench.All()
 	cores := ip.All()
+	if len(kernels) != len(cores) {
+		b.Fatalf("%d bench kernels but %d IP baselines", len(kernels), len(cores))
+	}
 	for i, k := range kernels {
 		core := cores[i]
+		// The two lists are paired by index: a silent mispairing would
+		// divide kernel X's clock/area by kernel Y's baseline and report
+		// plausible-looking nonsense, so reordering either list must
+		// fail loudly.
+		if core.Name != k.Name {
+			b.Fatalf("row %d pairs kernel %q with IP core %q; bench.All() and ip.All() must list Table 1 rows in the same order", i, k.Name, core.Name)
+		}
 		b.Run(k.Name, func(b *testing.B) {
 			var clockRatio, areaRatio float64
 			for n := 0; n < b.N; n++ {
@@ -195,6 +205,105 @@ func BenchmarkDatapathSim(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDatapathSimBatch is BenchmarkDatapathSim on the batch path:
+// the same DCT data path advanced through StepN in 256-iteration
+// dispatches, so ns/op is directly comparable with the serial
+// benchmark's per-Step cost. The steady state is gated at 0 allocs/op
+// in CI.
+func BenchmarkDatapathSimBatch(b *testing.B) {
+	k := bench.DCT()
+	res, err := k.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := NewSim(res)
+	const batch = 256
+	in := make([]int64, batch*len(res.Datapath.Inputs))
+	rng := rand.New(rand.NewSource(2))
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	if _, err := sim.StepN(in, batch); err != nil { // warm-up grows the lane scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		if _, err := sim.StepN(in, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchSweep is the multi-core sweep: 32 independent FIR input
+// streams through the Fig. 2 system, either serially (one System, one
+// stream at a time — the pre-SystemPool path) or sharded across the
+// SystemPool's worker crew. CI gates the sharded/serial throughput
+// ratio on multi-core runners and the sharded steady state at
+// 0 allocs/op.
+func BenchmarkBatchSweep(b *testing.B) {
+	res, err := Compile(exp.Fig3Source, "fir", DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const jobs = 32
+	streams := make([][]int64, jobs)
+	for j := range streams {
+		rng := rand.New(rand.NewSource(int64(j + 1)))
+		in := make([]int64, 21)
+		for i := range in {
+			in[i] = rng.Int63n(255) - 128
+		}
+		streams[j] = in
+	}
+	b.Run("serial", func(b *testing.B) {
+		sys, err := netlist.NewSystem(res.Kernel, res.Datapath, netlist.Config{BusElems: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]int64, 17)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for j := range streams {
+				sys.Reset()
+				if err := sys.LoadInput("A", streams[j]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.OutputInto("C", out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		pool, err := netlist.NewSystemPool(res.Kernel, res.Datapath, netlist.Config{BusElems: 1}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		batch := make([]netlist.Job, jobs)
+		for j := range batch {
+			batch[j] = netlist.Job{Inputs: map[string][]int64{"A": streams[j]}}
+		}
+		// Warm-up spawns the workers, fills the pool and allocates the
+		// per-job output buffers once.
+		if err := pool.RunBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if err := pool.RunBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCompile measures full-pipeline compilation of the wavelet

@@ -20,9 +20,17 @@ func main() {
 		figures    = flag.Bool("figures", false, "print the figure reproductions")
 		estimation = flag.Bool("estimation", false, "print the area-estimation experiment")
 		throughput = flag.Bool("throughput", false, "print the DCT throughput experiment")
+		sweep      = flag.Bool("sweep", false, "print the batch sweep (serial vs sharded SystemPool)")
+		jobs       = flag.Int("jobs", 64, "independent input streams per sweep")
+		workers    = flag.Int("workers", 0, "sweep shard width (0 = GOMAXPROCS)")
 		all        = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "rocccbench: -jobs must be at least 1")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	rows, err := exp.Table1()
 	if err != nil {
@@ -41,6 +49,17 @@ func main() {
 		fmt.Printf("ROCCC:     %.0f MHz x %.0f output/cycle = %.0f Msamples/s\n",
 			t.RocccClockMHz, t.RocccOutsPerCycle, t.RocccMsps)
 		fmt.Printf("overall throughput ratio: %.2fx (paper: higher despite 0.735x clock)\n\n", t.Speedup)
+	}
+	if *sweep || *all {
+		fir, err := exp.SystemSweep(*jobs, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		dct, err := exp.DCTSystemSweep(*jobs, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatSweeps([]*exp.SweepResult{fir, dct}))
 	}
 	if *estimation || *all {
 		est, err := exp.AreaEstimation()

@@ -1,0 +1,647 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+
+	"roccc/internal/vm"
+)
+
+// batch.go is the lane-parallel batch execution path of the compiled
+// simulator. Step dispatches the whole plan once per clock; for
+// sweep-style workloads (thousands of iterations through one data path)
+// that per-cycle dispatch dominates. StepN/DrainN instead execute N
+// clocks per call over a structure-of-arrays lane layout: one flat
+// region of lane values per op, one valid/poison bit per lane, and one
+// switch dispatch per op per chunk instead of per op per cycle.
+//
+// Correctness carve-outs, both pinned by differential tests against the
+// serial core:
+//
+//   - Feedback latches carry a loop-carried dependence (iteration i's
+//     LPR reads what iteration i-1's SNX committed), so the feedback
+//     cone of the plan (simPlan.batchB) serializes lane by lane while
+//     everything before/after it still runs op-major (batchA/batchC).
+//   - Faults must abort on the same cycle with the same state as the
+//     serial core. The batch computes into scratch lanes without
+//     touching the ring, so on the first detected fault the scratch is
+//     discarded and the chunk replays through the serial step — the
+//     abort cycle, error and post-abort state are Step's exactly.
+
+// batchChunkMax bounds the lane scratch: a StepN over millions of
+// iterations runs as a sequence of chunks, keeping the scratch at
+// nOps × (stages + batchChunkMax) values.
+const batchChunkMax = 256
+
+// batchSerialMax is the largest chunk still run through the serial core:
+// below it the op-major pass spends more time seeding in-flight lanes
+// than it saves on dispatch.
+const batchSerialMax = 2
+
+// errBatchFault signals (internally) that a valid lane hit a faulting
+// op; the chunk is replayed serially to reproduce the exact abort.
+var errBatchFault = errors.New("dp: sim: batch lane fault")
+
+// StepN advances n clocks, feeding one valid iteration per clock from
+// the flat row-major inputs (n rows of len(Inputs) values each). It is
+// bit-identical to n successive Step calls. The returned slice holds n
+// rows of output-port values, one per clock, in the same layout as the
+// inputs; like Step's, it is reused between calls — copy it to retain
+// values. On a fault (e.g. division by zero on a valid iteration) the
+// faulting cycle is aborted exactly as Step aborts it: every cycle
+// before it has committed, and the error is Step's error.
+func (s *Sim) StepN(inputs []int64, n int) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dp: sim: StepN with negative count %d", n)
+	}
+	if inW := len(s.p.inSlots); len(inputs) != n*inW {
+		return nil, fmt.Errorf("dp: sim: StepN: %d input values, want %d (%d cycles × %d ports)",
+			len(inputs), n*inW, n, inW)
+	}
+	return s.batchRun(inputs, n, true)
+}
+
+// DrainN advances n clocks with pipeline bubbles, bit-identical to n
+// successive Drain calls: zero inputs enter, the bubbles carry poison
+// bits, faults in bubble lanes are masked and bubbles never commit
+// feedback latches. The returned slice holds n output rows and is
+// reused between calls.
+func (s *Sim) DrainN(n int) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dp: sim: DrainN with negative count %d", n)
+	}
+	return s.batchRun(nil, n, false)
+}
+
+// RunBatch is Run on the batch path: all iterations are fed through
+// StepN, the pipeline is drained through DrainN, and the outputs are
+// returned one row per iteration, aligned with the inputs —
+// bit-identical to Run over the same vectors, including the cycle a
+// fault aborts on.
+func (s *Sim) RunBatch(iters [][]int64) ([][]int64, error) {
+	if len(iters) == 0 {
+		return nil, nil
+	}
+	inW := len(s.p.inSlots)
+	n := len(iters)
+	if cap(s.batchIn) < n*inW {
+		s.batchIn = make([]int64, n*inW)
+	}
+	flat := s.batchIn[:n*inW]
+	for i, row := range iters {
+		if len(row) != inW {
+			return nil, fmt.Errorf("dp: sim: RunBatch: iteration %d has %d inputs, want %d", i, len(row), inW)
+		}
+		copy(flat[i*inW:(i+1)*inW], row)
+	}
+	lat := s.p.latency
+	outW := len(s.p.outSlots)
+	outs := make([][]int64, 0, n)
+	backing := make([]int64, n*outW)
+	collect := func(rows []int64, first, count int) {
+		for r := first; r < count; r++ {
+			row := backing[len(outs)*outW : (len(outs)+1)*outW]
+			copy(row, rows[r*outW:(r+1)*outW])
+			outs = append(outs, row)
+		}
+	}
+	stepOut, err := s.StepN(flat, n)
+	if err != nil {
+		return nil, err
+	}
+	collect(stepOut, min(lat, n), n)
+	drainOut, err := s.DrainN(lat)
+	if err != nil {
+		return nil, err
+	}
+	collect(drainOut, max(0, lat-n), lat)
+	return outs, nil
+}
+
+// batchRun splits an n-clock batch into scratch-bounded chunks.
+func (s *Sim) batchRun(inputs []int64, n int, valid bool) ([]int64, error) {
+	outW := len(s.p.outSlots)
+	inW := len(s.p.inSlots)
+	if cap(s.batchOut) < n*outW {
+		s.batchOut = make([]int64, n*outW)
+	}
+	out := s.batchOut[:n*outW]
+	for done := 0; done < n; {
+		c := n - done
+		if c > batchChunkMax {
+			c = batchChunkMax
+		}
+		var in []int64
+		if valid {
+			in = inputs[done*inW : (done+c)*inW]
+		}
+		if err := s.batchChunk(in, c, valid, out[done*outW:(done+c)*outW]); err != nil {
+			return nil, err
+		}
+		done += c
+	}
+	return out, nil
+}
+
+// serialChunk runs one chunk through the serial core (tiny chunks,
+// pure-feedback plans, and fault replays).
+func (s *Sim) serialChunk(in []int64, n int, valid bool, out []int64) error {
+	inW := len(s.p.inSlots)
+	outW := len(s.p.outSlots)
+	for c := 0; c < n; c++ {
+		row := s.zeroBuf
+		if valid {
+			row = in[c*inW : (c+1)*inW]
+		}
+		o, err := s.step(row, valid)
+		if err != nil {
+			return err
+		}
+		copy(out[c*outW:(c+1)*outW], o)
+	}
+	return nil
+}
+
+// batchChunk executes one chunk of up to batchChunkMax clocks on the
+// lane layout, committing ring, valid ring, feedback state, cycle count
+// and outputs only after the whole chunk has computed fault-free.
+func (s *Sim) batchChunk(in []int64, n int, valid bool, out []int64) error {
+	p := s.p
+	if n <= batchSerialMax || (len(p.batchB) > 0 && len(p.batchA)+len(p.batchC) == 0) {
+		return s.serialChunk(in, n, valid, out)
+	}
+	stages := p.stages
+	laneN := stages + n
+	if need := p.nOps * laneN; cap(s.laneVals) < need {
+		s.laneVals = make([]int64, need)
+	}
+	lanes := s.laneVals[:p.nOps*laneN]
+	if cap(s.laneValid) < laneN {
+		s.laneValid = make([]bool, laneN)
+	}
+	lv := s.laneValid[:laneN]
+	if err := s.batchCompute(in, n, valid, lanes, lv, laneN); err != nil {
+		// A valid lane hit a faulting op. Nothing has been committed:
+		// drop the staged latch writes and replay the chunk serially so
+		// the abort cycle, error and state match Step exactly.
+		for i := range s.stagedSet {
+			s.stagedSet[i] = false
+		}
+		return s.serialChunk(in, n, valid, out)
+	}
+	s.commitChunk(n, valid, lanes, laneN, out)
+	return nil
+}
+
+// batchCompute fills the lane scratch: validity, in-flight seeds from
+// the ring, batch input rows, then the three execution classes.
+func (s *Sim) batchCompute(in []int64, n int, valid bool, lanes []int64, lv []bool, laneN int) error {
+	p := s.p
+	stages := p.stages
+	cycle0 := s.cycle
+	it0 := cycle0 - stages
+	h0 := s.head
+	rmask := s.rmask
+	ring := s.ring
+
+	// Lane k holds iteration it0+k: the first `stages` lanes are the
+	// iterations (or bubbles) already in flight, the rest are this
+	// batch's admissions.
+	for k := 0; k < stages; k++ {
+		it := it0 + k
+		lv[k] = it >= 0 && s.validRing[it&rmask]
+	}
+	for k := stages; k < laneN; k++ {
+		lv[k] = valid
+	}
+
+	// Seed every op's in-flight prefix from the ring: the value op
+	// computed for iteration it0+k was written at cycle it0+k+stage,
+	// which the ring still holds (rdepth > stages).
+	for idx := 0; idx < p.nOps; idx++ {
+		st := int(p.opStage[idx])
+		base := idx << p.opShift
+		lbase := idx * laneN
+		for k := 0; k < stages-st; k++ {
+			lanes[lbase+k] = ring[base+((h0+stages-1-st-k)&rmask)]
+		}
+	}
+
+	// Batch rows of the input pseudo-ops (bubble batches feed zeros).
+	inW := len(p.inSlots)
+	for i := range p.inSlots {
+		sl := &p.inSlots[i]
+		idx := int(sl.base) >> p.opShift
+		lbase := idx*laneN + stages - int(p.opStage[idx])
+		if valid {
+			for r := 0; r < n; r++ {
+				lanes[lbase+r] = sl.w.wrap(in[r*inW+i])
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				lanes[lbase+r] = 0
+			}
+		}
+	}
+
+	if err := s.batchOps(p.batchA, n, lanes, lv, laneN); err != nil {
+		return err
+	}
+	if len(p.batchB) > 0 {
+		if err := s.batchCone(p.batchB, n, lanes, lv, laneN); err != nil {
+			return err
+		}
+	}
+	return s.batchOps(p.batchC, n, lanes, lv, laneN)
+}
+
+// laneCtx resolves pre-compiled operands against the lane scratch: the
+// same iteration lane of the defining op's region, or an immediate.
+type laneCtx struct {
+	lanes []int64
+	laneN int
+	sh    uint
+}
+
+func (c *laneCtx) get(o *cOperand, k int) int64 {
+	if !o.ring {
+		return o.imm
+	}
+	return c.lanes[(int(o.base)>>c.sh)*c.laneN+k]
+}
+
+// laneOperand is an operand resolved once per op for the op-major pass:
+// either the defining op's whole lane region or an immediate, so the
+// per-lane inner loops index a hoisted slice instead of multiplying the
+// region base out on every access.
+type laneOperand struct {
+	sl  []int64
+	imm int64
+}
+
+func (o laneOperand) at(k int) int64 {
+	if o.sl == nil {
+		return o.imm
+	}
+	return o.sl[k]
+}
+
+func (c *laneCtx) operand(o *cOperand) laneOperand {
+	if !o.ring {
+		return laneOperand{imm: o.imm}
+	}
+	base := (int(o.base) >> c.sh) * c.laneN
+	return laneOperand{sl: c.lanes[base : base+c.laneN]}
+}
+
+// batchOps runs one op-major class: one switch dispatch per op, then a
+// tight loop over the op's computable lanes. An op at stage st computes
+// iterations whose st-stage cycle falls inside this chunk — lanes
+// [stages-st, stages-st+n); earlier lanes were seeded, later ones
+// belong to a later chunk.
+func (s *Sim) batchOps(ops []cop, n int, lanes []int64, lv []bool, laneN int) error {
+	p := s.p
+	stages := p.stages
+	c := laneCtx{lanes: lanes, laneN: laneN, sh: p.opShift}
+	for i := range ops {
+		op := &ops[i]
+		k0 := stages - int(op.stage)
+		k1 := k0 + n
+		lbase := (int(op.slot) >> p.opShift) * laneN
+		dst := lanes[lbase : lbase+laneN]
+		a := c.operand(&op.a)
+		b := c.operand(&op.b)
+		// Raw compute pass: the wrap pass below truncates the whole lane
+		// range at once with the op's precompiled wrap mode.
+		switch op.opc {
+		case vm.LDC, vm.MOV, vm.CVT:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k)
+			}
+		case vm.ADD:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k) + b.at(k)
+			}
+		case vm.SUB:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k) - b.at(k)
+			}
+		case vm.MUL:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k) * b.at(k)
+			}
+		case vm.DIV:
+			for k := k0; k < k1; k++ {
+				bv := b.at(k)
+				if bv == 0 {
+					if lv[k] {
+						return errBatchFault
+					}
+					dst[k] = 0
+					continue
+				}
+				dst[k] = a.at(k) / bv
+			}
+		case vm.REM:
+			for k := k0; k < k1; k++ {
+				bv := b.at(k)
+				if bv == 0 {
+					if lv[k] {
+						return errBatchFault
+					}
+					dst[k] = 0
+					continue
+				}
+				dst[k] = a.at(k) % bv
+			}
+		case vm.AND:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k) & b.at(k)
+			}
+		case vm.IOR:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k) | b.at(k)
+			}
+		case vm.XOR:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k) ^ b.at(k)
+			}
+		case vm.SHL:
+			for k := k0; k < k1; k++ {
+				dst[k] = a.at(k) << uint(b.at(k)&63)
+			}
+		case vm.SHR:
+			if op.shrLogical {
+				for k := k0; k < k1; k++ {
+					dst[k] = int64((uint64(a.at(k)) & op.shrMask) >> uint(b.at(k)&63))
+				}
+			} else {
+				for k := k0; k < k1; k++ {
+					dst[k] = a.at(k) >> uint(b.at(k)&63)
+				}
+			}
+		case vm.NEG:
+			for k := k0; k < k1; k++ {
+				dst[k] = -a.at(k)
+			}
+		case vm.NOT:
+			for k := k0; k < k1; k++ {
+				dst[k] = ^a.at(k)
+			}
+		case vm.SEQ:
+			for k := k0; k < k1; k++ {
+				dst[k] = boolBit(a.at(k) == b.at(k))
+			}
+		case vm.SNE:
+			for k := k0; k < k1; k++ {
+				dst[k] = boolBit(a.at(k) != b.at(k))
+			}
+		case vm.SLT:
+			for k := k0; k < k1; k++ {
+				dst[k] = boolBit(a.at(k) < b.at(k))
+			}
+		case vm.SLE:
+			for k := k0; k < k1; k++ {
+				dst[k] = boolBit(a.at(k) <= b.at(k))
+			}
+		case vm.MUX:
+			cc := c.operand(&op.c)
+			for k := k0; k < k1; k++ {
+				if a.at(k) != 0 {
+					dst[k] = b.at(k)
+				} else {
+					dst[k] = cc.at(k)
+				}
+			}
+		case vm.LUT:
+			for k := k0; k < k1; k++ {
+				ix := a.at(k)
+				if ix < 0 || ix >= int64(op.rom.Size) {
+					if lv[k] {
+						return errBatchFault
+					}
+					dst[k] = 0
+					continue
+				}
+				dst[k] = op.rom.Content[ix]
+			}
+		default:
+			// LPR/SNX live in the cone; anything else is unsupported —
+			// the serial replay will produce the proper error.
+			return errBatchFault
+		}
+		wrapLanes(dst[k0:k1], op)
+	}
+	return nil
+}
+
+// wrapLanes applies an op's precompiled wrap mode to its computed lane
+// range in one branch-free-per-op pass: nothing, one fused wrap, or the
+// full semantic-then-hardware pair (bit-identical to step's
+// op.hw.wrap(op.tw.wrap(v)) in every mode — a zero raw value, as a
+// poisoned divide leaves behind, wraps to zero in all of them).
+func wrapLanes(d []int64, op *cop) {
+	switch op.wmode {
+	case wrapNone:
+	case wrapSingle:
+		sh := op.fw.sh
+		if op.fw.signed {
+			for i := range d {
+				d[i] = d[i] << sh >> sh
+			}
+		} else {
+			for i := range d {
+				d[i] = int64(uint64(d[i]) << sh >> sh)
+			}
+		}
+	default:
+		tw, hw := op.tw, op.hw
+		for i := range d {
+			d[i] = hw.wrap(tw.wrap(d[i]))
+		}
+	}
+}
+
+// batchCone runs the feedback cone lane by lane. The running latch
+// state lives in batchState (scratch — committed only by commitChunk):
+// within a lane, LPRs read it and SNXs stage into it in plan order;
+// at the end of the lane the staged writes commit, exactly as the
+// serial clock edge commits them — each latch is touched by exactly one
+// iteration per cycle, so per-lane order is per-cycle order.
+func (s *Sim) batchCone(ops []cop, n int, lanes []int64, lv []bool, laneN int) error {
+	p := s.p
+	stages := p.stages
+	c := laneCtx{lanes: lanes, laneN: laneN, sh: p.opShift}
+	st := s.batchState[:len(s.state)]
+	copy(st, s.state)
+	staged := false
+	for k := 0; k < laneN; k++ {
+		for i := range ops {
+			op := &ops[i]
+			k0 := stages - int(op.stage)
+			if k < k0 || k >= k0+n {
+				continue // seeded in-flight lane, or a later chunk's cycle
+			}
+			var v int64
+			switch op.opc {
+			case vm.LPR:
+				// Latches bypass hardware-width wrapping, as in the
+				// serial core.
+				lanes[(int(op.slot)>>p.opShift)*laneN+k] = st[op.fb]
+				continue
+			case vm.SNX:
+				if lv[k] {
+					s.stagedVal[op.fb] = op.tw.wrap(c.get(&op.a, k))
+					s.stagedSet[op.fb] = true
+					staged = true
+				}
+				continue
+			case vm.LDC, vm.MOV, vm.CVT:
+				v = op.tw.wrap(c.get(&op.a, k))
+			case vm.ADD:
+				v = op.tw.wrap(c.get(&op.a, k) + c.get(&op.b, k))
+			case vm.SUB:
+				v = op.tw.wrap(c.get(&op.a, k) - c.get(&op.b, k))
+			case vm.MUL:
+				v = op.tw.wrap(c.get(&op.a, k) * c.get(&op.b, k))
+			case vm.DIV:
+				b := c.get(&op.b, k)
+				if b == 0 {
+					if lv[k] {
+						return errBatchFault
+					}
+					v = 0
+					break
+				}
+				v = op.tw.wrap(c.get(&op.a, k) / b)
+			case vm.REM:
+				b := c.get(&op.b, k)
+				if b == 0 {
+					if lv[k] {
+						return errBatchFault
+					}
+					v = 0
+					break
+				}
+				v = op.tw.wrap(c.get(&op.a, k) % b)
+			case vm.AND:
+				v = op.tw.wrap(c.get(&op.a, k) & c.get(&op.b, k))
+			case vm.IOR:
+				v = op.tw.wrap(c.get(&op.a, k) | c.get(&op.b, k))
+			case vm.XOR:
+				v = op.tw.wrap(c.get(&op.a, k) ^ c.get(&op.b, k))
+			case vm.SHL:
+				v = op.tw.wrap(c.get(&op.a, k) << uint(c.get(&op.b, k)&63))
+			case vm.SHR:
+				a := c.get(&op.a, k)
+				sh := uint(c.get(&op.b, k) & 63)
+				if op.shrLogical {
+					v = op.tw.wrap(int64((uint64(a) & op.shrMask) >> sh))
+				} else {
+					v = op.tw.wrap(a >> sh)
+				}
+			case vm.NEG:
+				v = op.tw.wrap(-c.get(&op.a, k))
+			case vm.NOT:
+				v = op.tw.wrap(^c.get(&op.a, k))
+			case vm.SEQ:
+				v = boolBit(c.get(&op.a, k) == c.get(&op.b, k))
+			case vm.SNE:
+				v = boolBit(c.get(&op.a, k) != c.get(&op.b, k))
+			case vm.SLT:
+				v = boolBit(c.get(&op.a, k) < c.get(&op.b, k))
+			case vm.SLE:
+				v = boolBit(c.get(&op.a, k) <= c.get(&op.b, k))
+			case vm.MUX:
+				if c.get(&op.a, k) != 0 {
+					v = op.tw.wrap(c.get(&op.b, k))
+				} else {
+					v = op.tw.wrap(c.get(&op.c, k))
+				}
+			case vm.LUT:
+				ix := c.get(&op.a, k)
+				if ix < 0 || ix >= int64(op.rom.Size) {
+					if lv[k] {
+						return errBatchFault
+					}
+					lanes[(int(op.slot)>>p.opShift)*laneN+k] = 0
+					continue
+				}
+				lanes[(int(op.slot)>>p.opShift)*laneN+k] = op.rom.Content[ix]
+				continue
+			default:
+				return errBatchFault
+			}
+			lanes[(int(op.slot)>>p.opShift)*laneN+k] = op.hw.wrap(v)
+		}
+		if staged {
+			for i := range s.stagedSet {
+				if s.stagedSet[i] {
+					s.stagedSet[i] = false
+					st[i] = s.stagedVal[i]
+				}
+			}
+			staged = false
+		}
+	}
+	return nil
+}
+
+// commitChunk applies a fault-free chunk to the simulator state: ring
+// history (the last rdepth cycles of every op and input), valid ring,
+// feedback latches, cycle count, head, and the chunk's output rows.
+func (s *Sim) commitChunk(n int, valid bool, lanes []int64, laneN int, out []int64) {
+	p := s.p
+	stages := p.stages
+	cycle0 := s.cycle
+	rmask := s.rmask
+	ring := s.ring
+	hNew := (s.head - n) & rmask
+	first := 0
+	if n > p.rdepth {
+		first = n - p.rdepth
+	}
+	// Cycle cycle0+r lands at ring position (hNew + n-1-r) & rmask; the
+	// iteration an op serves at that cycle is lane stages-stage+r.
+	for i := range p.plan {
+		op := &p.plan[i]
+		if op.opc == vm.SNX {
+			continue // latch writers leave no ring value, as in step
+		}
+		base := int(op.slot)
+		lbase := (base>>p.opShift)*laneN + stages - int(op.stage)
+		for r := first; r < n; r++ {
+			ring[base+((hNew+n-1-r)&rmask)] = lanes[lbase+r]
+		}
+	}
+	for i := range p.inSlots {
+		sl := &p.inSlots[i]
+		base := int(sl.base)
+		idx := base >> p.opShift
+		lbase := idx*laneN + stages - int(p.opStage[idx])
+		for r := first; r < n; r++ {
+			ring[base+((hNew+n-1-r)&rmask)] = lanes[lbase+r]
+		}
+	}
+	for r := first; r < n; r++ {
+		s.validRing[(cycle0+r)&rmask] = valid
+	}
+	if len(p.batchB) > 0 {
+		copy(s.state, s.batchState)
+		for i, v := range p.fbVars {
+			s.State[v] = s.state[i]
+		}
+	}
+	// Output row r belongs to the iteration admitted latency cycles
+	// before cycle cycle0+r — lane stages-latency+r.
+	outW := len(p.outSlots)
+	for i := range p.outSlots {
+		o := &p.outSlots[i]
+		lbase := (int(o.base)>>p.opShift)*laneN + stages - p.latency
+		for r := 0; r < n; r++ {
+			out[r*outW+i] = lanes[lbase+r]
+		}
+	}
+	s.head = hNew
+	s.cycle = cycle0 + n
+}

@@ -56,6 +56,18 @@ type Sim struct {
 	zeroBuf []int64
 	cycle   int
 
+	// Batch-path scratch (batch.go): structure-of-arrays lane values (one
+	// flat region per op), per-lane valid bits, the flat output/input
+	// buffers reused across StepN/DrainN/RunBatch calls, and the running
+	// feedback state of the lane-serialized cone. All grow on first use
+	// and are reused afterwards, so the batch steady state allocates
+	// nothing.
+	laneVals   []int64
+	laneValid  []bool
+	batchOut   []int64
+	batchIn    []int64
+	batchState []int64
+
 	// State is a read-only view of the feedback latches keyed by state
 	// variable, refreshed after every commit. The dense plan is
 	// authoritative; mutating this map does not affect the simulation.
@@ -78,6 +90,26 @@ type simPlan struct {
 	rdepth int
 	rmask  int
 	stages int
+
+	// Batch-path (StepN) tables. opShift turns a ring base back into an
+	// op index (rdepth is a power of two); opStage is every op's pipeline
+	// stage in d.Ops order (the plan's cops exclude input pseudo-ops, but
+	// seeding in-flight iterations needs all of them); latency mirrors
+	// d.Latency(). The cop list is partitioned for lane-parallel
+	// execution: batchA ops do not depend on any feedback-latch read and
+	// run op-major over all lanes at once; batchB is the feedback cone
+	// (every LPR/SNX plus the ops between them) and serializes lane by
+	// lane, because iteration i's latch read depends on iteration i-1's
+	// latch write; batchC ops depend on latch reads but feed no latch
+	// write, so they batch op-major again once the cone has run. Within
+	// each class the plan's topological order is preserved.
+	opShift uint
+	opStage []int32
+	nOps    int
+	latency int
+	batchA  []cop
+	batchB  []cop
+	batchC  []cop
 }
 
 // cOperand is a pre-resolved instruction operand: either an immediate
@@ -112,6 +144,19 @@ func (w wrapSpec) wrap(v int64) int64 {
 	return int64(uint64(v) << w.sh >> w.sh)
 }
 
+// Wrap-pass modes for the batch path: after an op's raw values are
+// computed for all lanes, one vectorized pass applies the same
+// truncation Step applies per cycle. When the hardware width is no
+// wider than the semantic type (the common case — width inference only
+// narrows), hw.wrap(tw.wrap(v)) keeps exactly the hardware type's low
+// bits, so the two wraps fuse into the hardware wrap alone; comparisons
+// take only the hardware wrap by construction, and LUT reads none.
+const (
+	wrapNone   uint8 = iota // value is final as computed (LUT)
+	wrapSingle              // one fused wrap (fw)
+	wrapBoth                // semantic then hardware wrap, unfusable
+)
+
 // cop is one compiled data-path operation.
 type cop struct {
 	opc  vm.Opcode
@@ -121,7 +166,10 @@ type cop struct {
 	c    cOperand
 	tw   wrapSpec // semantic result-type wrap (vm.EvalOp)
 	hw   wrapSpec // inferred hardware-width wrap (§4.2.4)
-	fb   int32    // feedback latch index for LPR/SNX
+	// Batch wrap pass (see the mode constants).
+	wmode uint8
+	fw    wrapSpec
+	fb    int32 // feedback latch index for LPR/SNX
 	// stage is the op's pipeline stage; it identifies which admitted
 	// iteration the op is working on (valid or bubble) this cycle.
 	stage int32
@@ -239,9 +287,78 @@ func compileSimPlan(d *Datapath) *simPlan {
 				c.shrMask = uint64(1)<<uint(ot.Bits) - 1
 			}
 		}
+		switch {
+		case c.opc == vm.LUT:
+			c.wmode = wrapNone
+		case c.opc == vm.SEQ || c.opc == vm.SNE || c.opc == vm.SLT || c.opc == vm.SLE:
+			// Comparison results skip the semantic wrap (step applies only
+			// the hardware wrap to boolBit).
+			c.wmode, c.fw = wrapSingle, c.hw
+		case c.hw.sh >= c.tw.sh:
+			c.wmode, c.fw = wrapSingle, c.hw
+		default:
+			c.wmode = wrapBoth
+		}
+		if c.wmode == wrapSingle && c.fw.sh == 0 {
+			c.wmode = wrapNone // 64-bit wrap is the identity
+		}
 		p.plan = append(p.plan, c)
 	}
+
+	p.opShift = uint(bits.TrailingZeros(uint(rdepth)))
+	p.nOps = len(d.Ops)
+	p.latency = d.Latency()
+	p.opStage = make([]int32, len(d.Ops))
+	for i, op := range d.Ops {
+		p.opStage[i] = int32(op.Stage)
+	}
+	p.partitionBatch()
 	return p
+}
+
+// partitionBatch splits the compiled plan into the three batch-execution
+// classes (see the simPlan field docs): ops not reachable from a
+// feedback-latch read (batchA), the feedback cone (batchB), and ops fed
+// by latch reads that feed no latch write (batchC). Reachability runs
+// over op indices — the plan is in topological order, so one forward
+// pass marks everything downstream of an LPR and one backward pass marks
+// everything upstream of an SNX.
+func (p *simPlan) partitionBatch() {
+	lprReach := make([]bool, p.nOps)
+	snxReach := make([]bool, p.nOps)
+	idxOf := func(base int32) int { return int(base) >> p.opShift }
+	marked := func(reach []bool, o *cOperand) bool {
+		return o.ring && reach[idxOf(o.base)]
+	}
+	for i := range p.plan {
+		c := &p.plan[i]
+		idx := idxOf(c.slot)
+		if c.opc == vm.LPR || marked(lprReach, &c.a) || marked(lprReach, &c.b) || marked(lprReach, &c.c) {
+			lprReach[idx] = true
+		}
+	}
+	for i := len(p.plan) - 1; i >= 0; i-- {
+		c := &p.plan[i]
+		if c.opc != vm.SNX && !snxReach[idxOf(c.slot)] {
+			continue
+		}
+		for _, o := range [...]*cOperand{&c.a, &c.b, &c.c} {
+			if o.ring {
+				snxReach[idxOf(o.base)] = true
+			}
+		}
+	}
+	for _, c := range p.plan {
+		idx := idxOf(c.slot)
+		switch {
+		case c.opc == vm.LPR || c.opc == vm.SNX || (lprReach[idx] && snxReach[idx]):
+			p.batchB = append(p.batchB, c)
+		case lprReach[idx]:
+			p.batchC = append(p.batchC, c)
+		default:
+			p.batchA = append(p.batchA, c)
+		}
+	}
 }
 
 // NewSim instantiates a simulator over the data path's compiled
@@ -261,6 +378,7 @@ func NewSim(d *Datapath) *Sim {
 		stagedSet:  make([]bool, len(p.fbInit)),
 		outBuf:     make([]int64, len(d.Outputs)),
 		zeroBuf:    make([]int64, len(d.Inputs)),
+		batchState: make([]int64, len(p.fbInit)),
 		State:      make(map[*hir.Var]int64, len(p.fbVars)),
 	}
 	s.Reset()
@@ -508,13 +626,19 @@ func boolBit(b bool) int64 {
 
 // Run feeds a sequence of per-iteration input vectors through the
 // pipeline (plus drain cycles) and returns one output vector per
-// iteration, aligned with the inputs.
+// iteration, aligned with the inputs. The result rows share one flat
+// backing array sized up front (two allocations per call, however long
+// the run); drain cycles reuse the simulator's zero-input scratch, so
+// Run performs no per-iteration allocation. RunBatch (batch.go) is the
+// batched equivalent executing many iterations per dispatch.
 func (s *Sim) Run(iters [][]int64) ([][]int64, error) {
 	if len(iters) == 0 {
 		return nil, nil
 	}
 	lat := s.Latency()
-	var outs [][]int64
+	outW := len(s.p.outSlots)
+	outs := make([][]int64, 0, len(iters))
+	backing := make([]int64, len(iters)*outW)
 	total := len(iters) + lat
 	for c := 0; c < total; c++ {
 		var (
@@ -530,9 +654,9 @@ func (s *Sim) Run(iters [][]int64) ([][]int64, error) {
 			return nil, err
 		}
 		if c >= lat {
-			cp := make([]int64, len(o))
-			copy(cp, o)
-			outs = append(outs, cp)
+			row := backing[len(outs)*outW : (len(outs)+1)*outW]
+			copy(row, o)
+			outs = append(outs, row)
 		}
 	}
 	return outs, nil

@@ -6,7 +6,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"roccc/internal/bench"
@@ -80,33 +82,54 @@ func SynthesizeKernel(k bench.Kernel) (*core.Result, *synth.Report, error) {
 }
 
 // Table1 regenerates the paper's Table 1 with the reproduction's
-// synthesis model on both sides.
+// synthesis model on both sides. The rows are independent full
+// compile+synthesize pipelines, so they shard across GOMAXPROCS
+// goroutines (each row compiles its own bench.Kernel — nothing is
+// shared between rows); row order stays the paper's regardless of
+// completion order.
 func Table1() ([]Row, error) {
 	kernels := bench.All()
 	cores := ip.All()
 	if len(kernels) != len(cores) {
 		return nil, fmt.Errorf("exp: kernel/baseline count mismatch")
 	}
-	var rows []Row
-	for i, k := range kernels {
-		c := cores[i]
-		if c.Name != k.Name {
-			return nil, fmt.Errorf("exp: row %d: kernel %s vs core %s", i, k.Name, c.Name)
-		}
-		_, rep, err := SynthesizeKernel(k)
+	rows := make([]Row, len(kernels))
+	errs := make([]error, len(kernels))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	wg.Add(len(kernels))
+	for i := range kernels {
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			k, c := kernels[i], cores[i]
+			if c.Name != k.Name {
+				errs[i] = fmt.Errorf("exp: row %d: kernel %s vs core %s", i, k.Name, c.Name)
+				return
+			}
+			_, rep, err := SynthesizeKernel(k)
+			if err != nil {
+				errs[i] = fmt.Errorf("exp: %s: %v", k.Name, err)
+				return
+			}
+			row := Row{
+				Example:    k.Name,
+				IPClock:    c.Report.ClockMHz,
+				IPArea:     c.Report.Slices,
+				RocccClock: rep.ClockMHz,
+				RocccArea:  rep.Slices,
+			}
+			row.PctClock = row.RocccClock / row.IPClock
+			row.PctArea = float64(row.RocccArea) / float64(row.IPArea)
+			rows[i] = row
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %v", k.Name, err)
+			return nil, err
 		}
-		row := Row{
-			Example:    k.Name,
-			IPClock:    c.Report.ClockMHz,
-			IPArea:     c.Report.Slices,
-			RocccClock: rep.ClockMHz,
-			RocccArea:  rep.Slices,
-		}
-		row.PctClock = row.RocccClock / row.IPClock
-		row.PctArea = float64(row.RocccArea) / float64(row.IPArea)
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"roccc/internal/bench"
+	"roccc/internal/core"
+	"roccc/internal/netlist"
+)
+
+// sweep.go measures the batch execution paths on sweep-style workloads:
+// many independent input streams through one compiled kernel. The
+// serial path runs one System per stream on one goroutine (one Step
+// dispatch per cycle); the sharded path runs the same streams through a
+// netlist.SystemPool. Every sharded stream is checked bit-identical to
+// its serial run, so the sweep doubles as an end-to-end correctness
+// harness for SystemPool.RunBatch.
+
+// SweepResult is one batch-vs-serial sweep measurement.
+type SweepResult struct {
+	Kernel  string
+	Jobs    int
+	Workers int
+	// Serial and Sharded are wall-clock times for the whole sweep.
+	Serial  time.Duration
+	Sharded time.Duration
+	Speedup float64
+	// Cycles is the total clock count across all streams (identical on
+	// both paths).
+	Cycles int64
+}
+
+// SystemSweep runs `jobs` random FIR input streams serially and through
+// a SystemPool with `workers` shards (<= 0 means GOMAXPROCS), verifying
+// the sharded outputs against the serial ones and returning both
+// timings.
+func SystemSweep(jobs, workers int) (*SweepResult, error) {
+	if jobs <= 0 {
+		jobs = 64
+	}
+	res, err := core.CompileSource(Fig3Source, "fir", core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return systemSweep("fir", res, netlist.Config{BusElems: 1}, jobs, workers, func(rng *rand.Rand) map[string][]int64 {
+		in := make([]int64, 21)
+		for i := range in {
+			in[i] = rng.Int63n(255) - 128
+		}
+		return map[string][]int64{"A": in}
+	})
+}
+
+// DCTSystemSweep is SystemSweep over the Table 1 DCT row (the widest
+// streaming kernel: eight outputs per cycle on an eight-element bus).
+func DCTSystemSweep(jobs, workers int) (*SweepResult, error) {
+	if jobs <= 0 {
+		jobs = 64
+	}
+	k := bench.DCT()
+	res, err := k.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return systemSweep(k.Name, res, netlist.Config{BusElems: k.BusElems}, jobs, workers, func(rng *rand.Rand) map[string][]int64 {
+		in := make([]int64, 64)
+		for i := range in {
+			in[i] = rng.Int63n(255) - 128
+		}
+		return map[string][]int64{"X": in}
+	})
+}
+
+func systemSweep(name string, res *core.Result, cfg netlist.Config, jobs, workers int,
+	gen func(*rand.Rand) map[string][]int64) (*SweepResult, error) {
+	pool, err := netlist.NewSystemPool(res.Kernel, res.Datapath, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	batch := make([]netlist.Job, jobs)
+	for i := range batch {
+		batch[i] = netlist.Job{Inputs: gen(rand.New(rand.NewSource(int64(i + 1))))}
+	}
+
+	// Serial path: one System, one stream at a time.
+	sys, err := pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	serialOuts := make([]map[string][]int64, jobs)
+	var cycles int64
+	serialStart := time.Now()
+	for i := range batch {
+		sys.Reset()
+		for arr, vals := range batch[i].Inputs {
+			if err := sys.LoadInput(arr, vals); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := sys.Run(); err != nil {
+			return nil, err
+		}
+		cycles += int64(sys.Cycles())
+		outs := map[string][]int64{}
+		for _, wr := range res.Kernel.Writes {
+			o, err := sys.Output(wr.Arr.Name)
+			if err != nil {
+				return nil, err
+			}
+			outs[wr.Arr.Name] = o
+		}
+		serialOuts[i] = outs
+	}
+	serial := time.Since(serialStart)
+	pool.Put(sys)
+
+	// Sharded path: the same streams across the pool's worker crew. The
+	// untimed first batch is the warm-up — it spawns the workers, fills
+	// the pool and allocates the per-job output buffers — so the timed
+	// batch measures the steady state the benchmarks gate.
+	if err := pool.RunBatch(batch); err != nil {
+		return nil, err
+	}
+	shardedStart := time.Now()
+	if err := pool.RunBatch(batch); err != nil {
+		return nil, err
+	}
+	sharded := time.Since(shardedStart)
+
+	var shardedCycles int64
+	for i := range batch {
+		shardedCycles += int64(batch[i].Cycles)
+		for arr, want := range serialOuts[i] {
+			got := batch[i].Outputs[arr]
+			if len(got) != len(want) {
+				return nil, fmt.Errorf("exp: sweep job %d: %s has %d elements sharded, %d serial", i, arr, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					return nil, fmt.Errorf("exp: sweep job %d: %s[%d] = %d sharded, %d serial", i, arr, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	if shardedCycles != cycles {
+		return nil, fmt.Errorf("exp: sweep cycle mismatch: %d sharded, %d serial", shardedCycles, cycles)
+	}
+	r := &SweepResult{
+		Kernel:  name,
+		Jobs:    jobs,
+		Workers: pool.Workers(),
+		Serial:  serial,
+		Sharded: sharded,
+		Cycles:  cycles,
+	}
+	if sharded > 0 {
+		r.Speedup = float64(serial) / float64(sharded)
+	}
+	return r, nil
+}
+
+// FormatSweeps renders sweep results.
+func FormatSweeps(rs []*SweepResult) string {
+	var b strings.Builder
+	b.WriteString("Batch sweep: independent input streams, serial vs sharded SystemPool\n")
+	fmt.Fprintf(&b, "%-10s %6s %8s %12s %12s %9s %10s\n",
+		"kernel", "jobs", "workers", "serial", "sharded", "speedup", "cycles")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-10s %6d %8d %12s %12s %8.2fx %10d\n",
+			r.Kernel, r.Jobs, r.Workers, r.Serial.Round(time.Microsecond),
+			r.Sharded.Round(time.Microsecond), r.Speedup, r.Cycles)
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package exp
+
+import "testing"
+
+// TestSystemSweep: the sharded sweep must verify bit-identical against
+// the serial path (systemSweep fails internally on any divergence) and
+// report sane bookkeeping.
+func TestSystemSweep(t *testing.T) {
+	r, err := SystemSweep(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs != 12 || r.Workers != 3 {
+		t.Fatalf("jobs/workers = %d/%d, want 12/3", r.Jobs, r.Workers)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("no cycles recorded")
+	}
+	if r.Speedup <= 0 {
+		t.Fatal("no speedup recorded")
+	}
+	if FormatSweeps([]*SweepResult{r}) == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// TestDCTSystemSweep covers the wide-bus kernel path.
+func TestDCTSystemSweep(t *testing.T) {
+	r, err := DCTSystemSweep(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kernel != "dct" || r.Cycles <= 0 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+}

@@ -1,0 +1,230 @@
+package netlist
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"roccc/internal/dp"
+	"roccc/internal/hir"
+)
+
+// SystemPool is a pool of Reset-able Systems for one compiled kernel,
+// plus a fixed crew of persistent worker goroutines that shard
+// independent input streams across cores. It builds on the PR 2 plan
+// caches: every pooled System shares the kernel's compiled sysPlan
+// (hir.Kernel.PlanCache) and the data path's compiled simulator plan,
+// so Get after warm-up reuses a System without recompiling or
+// allocating, and RunBatch in steady state (reused Job buffers)
+// allocates nothing at all — the workers are parked on a channel, not
+// respawned per call.
+type SystemPool struct {
+	kernel *hir.Kernel
+	dpath  *dp.Datapath
+	cfg    Config
+	// scalars are the scalar parameter values a pooled System must carry
+	// (bound at NewSystem in k.ScalarParams order); Put compares against
+	// them so a same-kernel System built with different scalar bindings
+	// cannot poison the pool.
+	scalars []int64
+
+	mu   sync.Mutex
+	free []*System
+
+	workers int
+	spawn   sync.Once
+	kick    chan *sweepRun
+	run     *sweepRun
+	runMu   sync.Mutex // serializes RunBatch calls on one pool
+
+	closed atomic.Bool
+}
+
+// sweepRun is the shared state of one RunBatch call, reused across
+// calls so dispatching a batch allocates nothing in steady state.
+type sweepRun struct {
+	jobs []Job
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// Job is one independent input stream for RunBatch: the per-array input
+// data in, the per-array results, consumed cycle count and error out.
+// Outputs buffers are reused when present (allocated on first use
+// otherwise), so a sweep that recycles its Job slice reaches a
+// zero-allocation steady state.
+type Job struct {
+	// Inputs maps input array names to their data (one element per
+	// address), as LoadInput takes them.
+	Inputs map[string][]int64
+	// Outputs receives one slice per output array, sized to the array.
+	Outputs map[string][]int64
+	// Cycles is the clock count the stream's Run consumed.
+	Cycles int
+	// Err is the stream's failure, if any; other jobs still run.
+	Err error
+}
+
+// NewSystemPool builds a pool over a compiled kernel. workers bounds
+// the goroutines RunBatch shards across (<= 0 means GOMAXPROCS). The
+// constructor builds one System eagerly, so configuration errors
+// (missing scalars, bad buffer geometry) surface here rather than
+// mid-sweep, and the shared plans are compiled before the first batch.
+func NewSystemPool(k *hir.Kernel, d *dp.Datapath, cfg Config, workers int) (*SystemPool, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Normalize exactly as NewSystem does, so Put's configuration check
+	// compares what built Systems actually carry.
+	if cfg.BusElems <= 0 {
+		cfg.BusElems = 1
+	}
+	sys, err := NewSystem(k, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &SystemPool{
+		kernel:  k,
+		dpath:   d,
+		cfg:     cfg,
+		scalars: sys.scalarVals,
+		free:    []*System{sys},
+		workers: workers,
+		kick:    make(chan *sweepRun, workers),
+		run:     &sweepRun{},
+	}
+	return p, nil
+}
+
+// Workers returns the pool's shard width.
+func (p *SystemPool) Workers() int { return p.workers }
+
+// Get returns a Reset System for the pool's kernel, reusing a pooled
+// one when available. Callers hand it back with Put.
+func (p *SystemPool) Get() (*System, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		sys := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return sys, nil
+	}
+	p.mu.Unlock()
+	return NewSystem(p.kernel, p.dpath, p.cfg)
+}
+
+// Put resets a System and returns it to the pool. Systems built for a
+// different kernel, data path, bus width or scalar binding are dropped
+// rather than poisoning the pool.
+func (p *SystemPool) Put(sys *System) {
+	if sys == nil || sys.Kernel != p.kernel || sys.Datapath != p.dpath ||
+		sys.BusElems != p.cfg.BusElems || !slices.Equal(sys.scalarVals, p.scalars) {
+		return
+	}
+	sys.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, sys)
+	p.mu.Unlock()
+}
+
+// RunBatch executes every job — Reset, LoadInput, Run, harvest — over
+// the worker crew, each worker pulling the next unclaimed job off a
+// shared counter so uneven stream lengths balance naturally. Per-job
+// failures land in Job.Err without stopping the rest of the batch; the
+// returned error is the first failure in job order (nil when all
+// streams completed). Concurrent RunBatch calls on one pool serialize.
+func (p *SystemPool) RunBatch(jobs []Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if p.closed.Load() {
+		return fmt.Errorf("netlist: RunBatch on a closed SystemPool")
+	}
+	p.spawn.Do(func() {
+		for i := 0; i < p.workers; i++ {
+			go p.worker()
+		}
+	})
+	w := min(p.workers, len(jobs))
+	r := p.run
+	r.jobs = jobs
+	r.next.Store(0)
+	r.wg.Add(w)
+	for i := 0; i < w; i++ {
+		p.kick <- r
+	}
+	r.wg.Wait()
+	r.jobs = nil
+	for i := range jobs {
+		if jobs[i].Err != nil {
+			return fmt.Errorf("netlist: sweep job %d: %w", i, jobs[i].Err)
+		}
+	}
+	return nil
+}
+
+// Close stops the worker crew (waiting out an in-flight RunBatch). The
+// pool cannot run batches afterwards; Get/Put keep working.
+func (p *SystemPool) Close() {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if p.closed.CompareAndSwap(false, true) {
+		p.spawn.Do(func() {}) // never spawned: closing the channel suffices
+		close(p.kick)
+	}
+}
+
+// worker is one persistent shard: parked on the kick channel, it drains
+// unclaimed jobs on a System borrowed from the pool for the whole
+// batch.
+func (p *SystemPool) worker() {
+	for r := range p.kick {
+		sys, err := p.Get()
+		for {
+			i := int(r.next.Add(1)) - 1
+			if i >= len(r.jobs) {
+				break
+			}
+			job := &r.jobs[i]
+			if err != nil {
+				job.Err = err
+				continue
+			}
+			job.Err = runJob(sys, job)
+		}
+		p.Put(sys)
+		r.wg.Done()
+	}
+}
+
+// runJob streams one job through a pooled System.
+func runJob(sys *System, job *Job) error {
+	sys.Reset()
+	for name, vals := range job.Inputs {
+		if err := sys.LoadInput(name, vals); err != nil {
+			return err
+		}
+	}
+	if _, err := sys.Run(); err != nil {
+		return err
+	}
+	job.Cycles = sys.Cycles()
+	if job.Outputs == nil {
+		job.Outputs = make(map[string][]int64, len(sys.outBRAMs))
+	}
+	for name, bram := range sys.outBRAMs {
+		dst := job.Outputs[name]
+		if len(dst) != len(bram.Data) {
+			dst = make([]int64, len(bram.Data))
+			job.Outputs[name] = dst
+		}
+		if err := sys.OutputInto(name, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

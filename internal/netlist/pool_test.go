@@ -1,0 +1,306 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"roccc/internal/core"
+)
+
+// firJobs builds n FIR input streams (seeded, so serial and sharded
+// runs see identical data) with reusable output buffers.
+func firJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		in := make([]int64, 21)
+		for j := range in {
+			in[j] = rng.Int63n(255) - 128
+		}
+		jobs[i] = Job{Inputs: map[string][]int64{"A": in}}
+	}
+	return jobs
+}
+
+// TestSystemPoolRunBatch shards a sweep of independent FIR streams
+// across the pool and checks every stream against a serially-run
+// System over the same inputs.
+func TestSystemPoolRunBatch(t *testing.T) {
+	res, sys := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	jobs := firJobs(23)
+
+	// Serial reference: one System, Reset per stream.
+	want := make([][]int64, len(jobs))
+	wantCycles := make([]int, len(jobs))
+	for i := range jobs {
+		sys.Reset()
+		if err := sys.LoadInput("A", jobs[i].Inputs["A"]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := sys.Output("C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+		wantCycles[i] = sys.Cycles()
+	}
+
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, Config{BusElems: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// Two batches over the same jobs: the second exercises buffer reuse.
+	for round := 0; round < 2; round++ {
+		if err := pool.RunBatch(jobs); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range jobs {
+			if jobs[i].Err != nil {
+				t.Fatalf("round %d: job %d: %v", round, i, jobs[i].Err)
+			}
+			if jobs[i].Cycles != wantCycles[i] {
+				t.Fatalf("round %d: job %d: %d cycles, serial took %d", round, i, jobs[i].Cycles, wantCycles[i])
+			}
+			got := jobs[i].Outputs["C"]
+			for j := range want[i] {
+				if got[j] != want[i][j] {
+					t.Fatalf("round %d: job %d: C[%d] = %d, serial %d", round, i, j, got[j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestSystemPoolJobError: one bad stream must fail with its own error
+// while the rest of the batch completes.
+func TestSystemPoolJobError(t *testing.T) {
+	res, _ := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, Config{BusElems: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	jobs := firJobs(5)
+	jobs[2].Inputs = map[string][]int64{"NOPE": make([]int64, 21)}
+	err = pool.RunBatch(jobs)
+	if err == nil || !strings.Contains(err.Error(), "job 2") {
+		t.Fatalf("RunBatch error = %v, want a job-2 failure", err)
+	}
+	for i := range jobs {
+		if i == 2 {
+			if jobs[i].Err == nil {
+				t.Fatal("bad job has no error")
+			}
+			continue
+		}
+		if jobs[i].Err != nil {
+			t.Fatalf("job %d failed: %v", i, jobs[i].Err)
+		}
+		if len(jobs[i].Outputs["C"]) != 17 {
+			t.Fatalf("job %d: missing outputs", i)
+		}
+	}
+}
+
+// TestSystemPoolGetPut: Get hands out Reset systems, Put recycles them,
+// and foreign systems are dropped instead of poisoning the pool.
+func TestSystemPoolGetPut(t *testing.T) {
+	res, _ := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, Config{BusElems: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	a, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	if err := a.LoadInput("A", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(a)
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatal("Put system was not reused")
+	}
+	// The recycled system must be runnable again (Put resets it).
+	if err := b.LoadInput("A", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(); err != nil {
+		t.Fatalf("recycled system: %v", err)
+	}
+	// A system for a different bus width must not enter the pool.
+	other, err := NewSystem(res.Kernel, res.Datapath, Config{BusElems: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(b)
+	pool.Put(other)
+	if got, _ := pool.Get(); got == other {
+		t.Fatal("foreign system entered the pool")
+	}
+}
+
+// TestSystemPoolNormalizesBus: a pool built with BusElems <= 0 must
+// normalize it the way NewSystem does, so Put actually recycles the
+// Systems it hands out (a mismatch here silently rebuilt a System per
+// job, defeating the pool).
+func TestSystemPoolNormalizesBus(t *testing.T) {
+	res, _ := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	s, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BusElems != 1 {
+		t.Fatalf("BusElems = %d, want the normalized 1", s.BusElems)
+	}
+	pool.Put(s)
+	s2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s {
+		t.Fatal("Put did not recycle the System under a zero-valued Config")
+	}
+}
+
+// TestSystemPoolScalarGuard: a same-kernel System carrying different
+// scalar parameter bindings must not enter the pool — jobs run after
+// such a Put would silently compute with the wrong scalars.
+func TestSystemPoolScalarGuard(t *testing.T) {
+	src := `
+int A[16];
+int B[16];
+void scale(int k) {
+	int i;
+	for (i = 0; i < 16; i++) { B[i] = A[i] * k + 1; }
+}
+`
+	res, err := core.CompileSource(src, "scale", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewSystemPool(res.Kernel, res.Datapath,
+		Config{BusElems: 1, Scalars: map[string]int64{"k": 7}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	foreign, err := NewSystem(res.Kernel, res.Datapath, Config{BusElems: 1, Scalars: map[string]int64{"k": 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(foreign)
+	got, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == foreign {
+		t.Fatal("a System with different scalar bindings entered the pool")
+	}
+	// The pool's jobs must still compute with k=7.
+	in := make([]int64, 16)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	pool.Put(got)
+	jobs := []Job{{Inputs: map[string][]int64{"A": in}}}
+	if err := pool.RunBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if want := in[i]*7 + 1; jobs[0].Outputs["B"][i] != want {
+			t.Fatalf("B[%d] = %d, want %d", i, jobs[0].Outputs["B"][i], want)
+		}
+	}
+}
+
+// TestConcurrentPlanCacheSharing hammers NewSystem + Run + Output from
+// many goroutines sharing one compiled Kernel/Datapath: every goroutine
+// exercises hir.Kernel.PlanCache (the shared sysPlan), the data path's
+// planOnce simulator plan, and full runs over private Systems. Run
+// under -race in CI; results must also be independent of interleaving.
+func TestConcurrentPlanCacheSharing(t *testing.T) {
+	res, sys := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	in := make([]int64, 21)
+	rng := rand.New(rand.NewSource(9))
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	if err := sys.LoadInput("A", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Output("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				s, err := NewSystem(res.Kernel, res.Datapath, Config{BusElems: 1})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if err := s.LoadInput("A", in); err != nil {
+					errs[g] = err
+					return
+				}
+				if _, err := s.Run(); err != nil {
+					errs[g] = err
+					return
+				}
+				out, err := s.Output("C")
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				for i := range want {
+					if out[i] != want[i] {
+						errs[g] = fmt.Errorf("round %d: C[%d] = %d, want %d", r, i, out[i], want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

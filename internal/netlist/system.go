@@ -328,6 +328,24 @@ func (s *System) Output(name string) ([]int64, error) {
 	return cp, nil
 }
 
+// OutputInto copies an output BRAM's contents into a caller-provided
+// buffer of exactly the array's length, so sweep loops harvest results
+// without allocating. Like Output, it errors until a Run has completed.
+func (s *System) OutputInto(name string, dst []int64) error {
+	m, ok := s.outBRAMs[name]
+	if !ok {
+		return fmt.Errorf("netlist: no output array %q", name)
+	}
+	if !s.completed {
+		return fmt.Errorf("netlist: OutputInto(%q) before a completed Run", name)
+	}
+	if len(dst) != len(m.Data) {
+		return fmt.Errorf("netlist: OutputInto(%q): buffer holds %d elements, array has %d", name, len(dst), len(m.Data))
+	}
+	copy(dst, m.Data)
+	return nil
+}
+
 // Cycles returns the clock cycles consumed by Run.
 func (s *System) Cycles() int { return s.cycles }
 

@@ -65,6 +65,14 @@ type Sim = dp.Sim
 // semantics; differential tests step both in lockstep.
 type RefSim = dp.RefSim
 
+// SystemPool is a pool of Reset-able Systems for one compiled kernel
+// with persistent workers sharding independent input streams across
+// cores (netlist.SystemPool).
+type SystemPool = netlist.SystemPool
+
+// SweepJob is one independent input stream for SystemPool.RunBatch.
+type SweepJob = netlist.Job
+
 // DefaultOptions returns the standard optimizing configuration.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
@@ -112,6 +120,13 @@ func Synthesize(res *Result, busElems int) *Report {
 // streaming kernel.
 func NewSystem(res *Result, cfg SystemConfig) (*System, error) {
 	return netlist.NewSystem(res.Kernel, res.Datapath, cfg)
+}
+
+// NewSystemPool builds a pool of reusable Systems for a compiled
+// streaming kernel; RunBatch on it shards independent input streams
+// across up to workers goroutines (<= 0 means GOMAXPROCS).
+func NewSystemPool(res *Result, cfg SystemConfig, workers int) (*SystemPool, error) {
+	return netlist.NewSystemPool(res.Kernel, res.Datapath, cfg, workers)
 }
 
 // NewSim builds a cycle-accurate simulator for the data path alone
