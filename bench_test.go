@@ -11,14 +11,21 @@
 package roccc
 
 import (
+	"context"
 	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"roccc/internal/bench"
 	"roccc/internal/dp"
 	"roccc/internal/exp"
 	"roccc/internal/ip"
 	"roccc/internal/netlist"
+	"roccc/internal/serve"
 )
 
 // BenchmarkTable1 regenerates each row of Table 1: compile → pipeline →
@@ -339,4 +346,120 @@ func BenchmarkAblations(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeThroughput measures the rocccserve request path on the
+// Fig. 2 FIR system; one benchmark op is one served stream, so the
+// sub-benchmarks compare directly.
+//
+//   - inproc: the in-process client straight into the warm SystemPool —
+//     the pool path the CI gate holds at 0 allocs/op in steady state.
+//   - tcp-serial: one TCP client, one stream per request, sequential
+//     round trips — the throughput floor.
+//   - tcp-concurrent: several TCP clients issuing the same single-stream
+//     requests concurrently; CI gates this at >= the serial floor on
+//     multi-core runners (round trips overlap even on small machines).
+func BenchmarkServeThroughput(b *testing.B) {
+	srv := serve.NewServer(0)
+	if err := srv.Register(serve.KernelSpec{
+		Name: "fir", Source: exp.Fig3Source, Func: "fir",
+		Options: DefaultOptions(), Config: netlist.Config{BusElems: 1},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	mkJobs := func(n int) []netlist.Job {
+		jobs := make([]netlist.Job, n)
+		for j := range jobs {
+			rng := rand.New(rand.NewSource(int64(j + 1)))
+			in := make([]int64, 21)
+			for i := range in {
+				in[i] = rng.Int63n(255) - 128
+			}
+			jobs[j] = netlist.Job{Inputs: map[string][]int64{"A": in}}
+		}
+		return jobs
+	}
+
+	b.Run("inproc", func(b *testing.B) {
+		client := srv.Local()
+		const batch = 32
+		jobs := mkJobs(batch)
+		// Warm-up compiles the kernel, spawns the pool workers and
+		// allocates the reusable output buffers.
+		if err := client.Run("fir", jobs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		// Exactly b.N streams: the final batch is truncated so ns/op and
+		// allocs/op really are per stream.
+		for n := 0; n < b.N; {
+			k := min(batch, b.N-n)
+			if err := client.Run("fir", jobs[:k]); err != nil {
+				b.Fatal(err)
+			}
+			n += k
+		}
+	})
+	b.Run("tcp-serial", func(b *testing.B) {
+		conn, err := serve.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		jobs := mkJobs(1)
+		if err := conn.Run("fir", jobs); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if err := conn.Run("fir", jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tcp-concurrent", func(b *testing.B) {
+		clients := min(8, max(2, runtime.GOMAXPROCS(0)))
+		conns := make([]*serve.Conn, clients)
+		for i := range conns {
+			c, err := serve.Dial(ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			conns[i] = c
+			warm := mkJobs(1)
+			if err := c.Run("fir", warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for i := range conns {
+			wg.Add(1)
+			go func(c *serve.Conn) {
+				defer wg.Done()
+				jobs := mkJobs(1)
+				for int(next.Add(1)) <= b.N {
+					if err := c.Run("fir", jobs); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(conns[i])
+		}
+		wg.Wait()
+	})
 }

@@ -1,0 +1,334 @@
+// Command cigate is the CI benchmark gate runner: it replaces the old
+// awk/shell pipelines in ci.yml with one Go program that runs the
+// benchmarks itself, parses their output, evaluates the checked-in
+// gates (ci/gates.json) and prints a pass/fail table. With -json it
+// also writes a machine-readable BENCH_<sha>.json trajectory file
+// (ns/op, allocs/op, speedups) for CI to upload as an artifact, so
+// future changes have a perf baseline to compare against.
+//
+// Usage:
+//
+//	cigate [-gates ci/gates.json] [-json out.json] [-cpus N] [-v]
+//
+// Exit status is nonzero if any gate fails or any gated benchmark is
+// missing from the output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// GateFile is the checked-in gate configuration.
+type GateFile struct {
+	// Pkg is the package directory the benchmarks live in (default ".").
+	Pkg string `json:"pkg"`
+	// Groups each run one `go test -bench` invocation.
+	Groups []Group `json:"groups"`
+}
+
+// Group is one benchmark run and the gates evaluated on it.
+type Group struct {
+	Name string `json:"name"`
+	// Bench is the -bench regexp; Benchtime the -benchtime value
+	// (iteration counts like "200x" keep CI deterministic).
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	Gates     []Gate `json:"gates"`
+}
+
+// Gate is one assertion over a benchmark's results. Exactly one of the
+// assertion families applies: MaxAllocs/MaxNsOp bound the benchmark
+// itself; Baseline+Speedups require bench to beat baseline by a
+// CPU-count-conditional factor.
+type Gate struct {
+	// Bench is the exact benchmark name, without the -N GOMAXPROCS
+	// suffix (e.g. "BenchmarkBatchSweep/sharded").
+	Bench string `json:"bench"`
+	// MaxAllocs caps allocs/op (steady-state zero-alloc gates use 0).
+	MaxAllocs *int64 `json:"max_allocs,omitempty"`
+	// MaxNsOp caps ns/op absolutely (rarely useful on shared runners).
+	MaxNsOp *float64 `json:"max_ns_op,omitempty"`
+	// Baseline names the benchmark to compare against; the speedup is
+	// baseline ns/op divided by bench ns/op.
+	Baseline string `json:"baseline,omitempty"`
+	// Speedups are CPU-conditioned floors: the rule with the largest
+	// MinCPUs <= the runner's CPU count applies.
+	Speedups []SpeedupRule `json:"speedups,omitempty"`
+}
+
+// SpeedupRule is one CPU-count-conditional speedup floor.
+type SpeedupRule struct {
+	MinCPUs int     `json:"min_cpus"`
+	Min     float64 `json:"min"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsOp    float64            `json:"ns_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Verdict is one evaluated gate.
+type Verdict struct {
+	Group    string  `json:"group"`
+	Bench    string  `json:"bench"`
+	Check    string  `json:"check"`
+	Observed float64 `json:"observed"`
+	Bound    float64 `json:"bound"`
+	OK       bool    `json:"ok"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// Trajectory is the -json artifact: one CI run's full benchmark state.
+type Trajectory struct {
+	SHA     string    `json:"sha"`
+	Date    time.Time `json:"date"`
+	Go      string    `json:"go"`
+	CPUs    int       `json:"cpus"`
+	Results []Result  `json:"results"`
+	Gates   []Verdict `json:"gates"`
+}
+
+func main() {
+	var (
+		gatesPath = flag.String("gates", "ci/gates.json", "gate configuration file")
+		jsonOut   = flag.String("json", "", "write a BENCH trajectory JSON to this path ('auto' derives BENCH_<sha>.json)")
+		cpus      = flag.Int("cpus", runtime.NumCPU(), "CPU count used to select speedup rules")
+		verbose   = flag.Bool("v", false, "echo raw benchmark output")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*gatesPath)
+	if err != nil {
+		fatal(err)
+	}
+	var gf GateFile
+	if err := json.Unmarshal(raw, &gf); err != nil {
+		fatal(fmt.Errorf("%s: %w", *gatesPath, err))
+	}
+	if gf.Pkg == "" {
+		gf.Pkg = "."
+	}
+
+	results := map[string]Result{}
+	var ordered []Result
+	for _, g := range gf.Groups {
+		out, err := runGroup(gf.Pkg, g)
+		if *verbose || err != nil {
+			fmt.Print(out)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("group %s: %w", g.Name, err))
+		}
+		for _, r := range parseBench(out) {
+			results[r.Name] = r
+			ordered = append(ordered, r)
+		}
+	}
+
+	verdicts := evaluate(gf, results, *cpus)
+	fmt.Print(formatVerdicts(verdicts, *cpus))
+
+	failed := false
+	for _, v := range verdicts {
+		if !v.OK {
+			failed = true
+		}
+	}
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		sha := headSHA()
+		if path == "auto" {
+			path = fmt.Sprintf("BENCH_%s.json", sha)
+		}
+		traj := Trajectory{
+			SHA:     sha,
+			Date:    time.Now().UTC(),
+			Go:      runtime.Version(),
+			CPUs:    *cpus,
+			Results: ordered,
+			Gates:   verdicts,
+		}
+		blob, err := json.MarshalIndent(traj, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cigate: wrote %s\n", path)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runGroup executes one `go test -bench` invocation and returns its
+// combined output.
+func runGroup(pkg string, g Group) (string, error) {
+	bt := g.Benchtime
+	if bt == "" {
+		bt = "100x"
+	}
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", g.Bench,
+		"-benchtime", bt, "-benchmem", pkg)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// benchLine matches one `go test -bench` result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Metric pairs after the iteration count are "<value> <unit>"; ns/op is
+// promoted to its own field, everything else (allocs/op, B/op, custom
+// b.ReportMetric units) lands in Metrics.
+func parseBench(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iters: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				r.NsOp = v
+			} else {
+				r.Metrics[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// pickSpeedup selects the floor whose MinCPUs condition is the tightest
+// satisfied one.
+func pickSpeedup(rules []SpeedupRule, cpus int) (SpeedupRule, bool) {
+	best, found := SpeedupRule{MinCPUs: -1}, false
+	for _, r := range rules {
+		if cpus >= r.MinCPUs && r.MinCPUs > best.MinCPUs {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// evaluate turns parsed results into gate verdicts.
+func evaluate(gf GateFile, results map[string]Result, cpus int) []Verdict {
+	var out []Verdict
+	for _, g := range gf.Groups {
+		for _, gate := range g.Gates {
+			r, ok := results[gate.Bench]
+			if !ok {
+				out = append(out, Verdict{Group: g.Name, Bench: gate.Bench,
+					Check: "present", Detail: "benchmark missing from output"})
+				continue
+			}
+			if gate.MaxAllocs != nil {
+				allocs, has := r.Metrics["allocs/op"]
+				v := Verdict{Group: g.Name, Bench: gate.Bench, Check: "allocs/op",
+					Observed: allocs, Bound: float64(*gate.MaxAllocs)}
+				v.OK = has && int64(allocs) <= *gate.MaxAllocs
+				if !has {
+					v.Detail = "allocs/op missing (run with -benchmem)"
+				}
+				out = append(out, v)
+			}
+			if gate.MaxNsOp != nil {
+				out = append(out, Verdict{Group: g.Name, Bench: gate.Bench,
+					Check: "ns/op", Observed: r.NsOp, Bound: *gate.MaxNsOp,
+					OK: r.NsOp <= *gate.MaxNsOp})
+			}
+			if gate.Baseline != "" {
+				base, baseOK := results[gate.Baseline]
+				rule, ruleOK := pickSpeedup(gate.Speedups, cpus)
+				v := Verdict{Group: g.Name, Bench: gate.Bench, Check: "speedup"}
+				switch {
+				case !baseOK:
+					v.Detail = fmt.Sprintf("baseline %s missing from output", gate.Baseline)
+				case !ruleOK:
+					v.Detail = fmt.Sprintf("no speedup rule covers %d CPUs", cpus)
+				case r.NsOp <= 0:
+					v.Detail = "ns/op is zero"
+				default:
+					v.Observed = base.NsOp / r.NsOp
+					v.Bound = rule.Min
+					v.OK = v.Observed >= rule.Min
+					v.Detail = fmt.Sprintf("vs %s (floor for >=%d CPUs)", gate.Baseline, rule.MinCPUs)
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// formatVerdicts renders the pass/fail table.
+func formatVerdicts(vs []Verdict, cpus int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cigate: %d gates on %d CPUs\n", len(vs), cpus)
+	fmt.Fprintf(&b, "%-6s %-10s %-45s %-10s %12s %12s  %s\n",
+		"result", "group", "benchmark", "check", "observed", "bound", "detail")
+	for _, v := range vs {
+		status := "PASS"
+		if !v.OK {
+			status = "FAIL"
+		}
+		obs, bound := trimFloat(v.Observed), trimFloat(v.Bound)
+		fmt.Fprintf(&b, "%-6s %-10s %-45s %-10s %12s %12s  %s\n",
+			status, v.Group, v.Bench, v.Check, obs, bound, v.Detail)
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// headSHA resolves the commit being gated: GITHUB_SHA in CI, git
+// rev-parse locally, "unknown" without either.
+func headSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cigate:", err)
+	os.Exit(1)
+}

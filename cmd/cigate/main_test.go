@@ -1,0 +1,132 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: roccc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig2ExecutionModel-8         	     200	      4400 ns/op	        10.29 cycles/output	       0 B/op	       0 allocs/op
+BenchmarkBatchSweep/serial-8          	     100	    171000 ns/op	     152 B/op	       3 allocs/op
+BenchmarkBatchSweep/sharded-8         	     100	     71250 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeThroughput/inproc       	     200	      5367 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeThroughput/tcp-serial-2 	     200	     33800 ns/op	    1460 B/op	      17 allocs/op
+BenchmarkServeThroughput/tcp-concurrent-2 	     200	     26929 ns/op	    1526 B/op	      17 allocs/op
+PASS
+ok  	roccc	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	rs := parseBench(sampleOutput)
+	if len(rs) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(rs))
+	}
+	byName := map[string]Result{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	fig2, ok := byName["BenchmarkFig2ExecutionModel"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix was not stripped")
+	}
+	if fig2.NsOp != 4400 || fig2.Iters != 200 {
+		t.Fatalf("fig2 = %+v", fig2)
+	}
+	if fig2.Metrics["allocs/op"] != 0 || fig2.Metrics["cycles/output"] != 10.29 {
+		t.Fatalf("fig2 metrics = %+v", fig2.Metrics)
+	}
+	if byName["BenchmarkServeThroughput/tcp-serial"].Metrics["allocs/op"] != 17 {
+		t.Fatal("sub-benchmark with suffix not parsed")
+	}
+	// A name without suffix parses too.
+	if byName["BenchmarkServeThroughput/inproc"].NsOp != 5367 {
+		t.Fatal("suffix-less benchmark not parsed")
+	}
+}
+
+func gateFixture() GateFile {
+	zero := int64(0)
+	return GateFile{Groups: []Group{
+		{
+			Name: "alloc",
+			Gates: []Gate{
+				{Bench: "BenchmarkFig2ExecutionModel", MaxAllocs: &zero},
+				{Bench: "BenchmarkBatchSweep/sharded", MaxAllocs: &zero},
+				{Bench: "BenchmarkServeThroughput/tcp-serial", MaxAllocs: &zero}, // must fail: 17
+			},
+		},
+		{
+			Name: "speedup",
+			Gates: []Gate{
+				{Bench: "BenchmarkBatchSweep/sharded", Baseline: "BenchmarkBatchSweep/serial",
+					Speedups: []SpeedupRule{{MinCPUs: 4, Min: 2.0}, {MinCPUs: 2, Min: 1.2}, {MinCPUs: 0, Min: 0.7}}},
+				{Bench: "BenchmarkMissing", MaxAllocs: &zero},
+			},
+		},
+	}}
+}
+
+func TestEvaluateGates(t *testing.T) {
+	results := map[string]Result{}
+	for _, r := range parseBench(sampleOutput) {
+		results[r.Name] = r
+	}
+	// On 8 CPUs the 2.0x rule applies: 171000/71250 = 2.4x passes.
+	vs := evaluate(gateFixture(), results, 8)
+	if len(vs) != 5 {
+		t.Fatalf("verdicts = %d, want 5", len(vs))
+	}
+	get := func(bench, check string) Verdict {
+		for _, v := range vs {
+			if v.Bench == bench && v.Check == check {
+				return v
+			}
+		}
+		t.Fatalf("no verdict for %s %s", bench, check)
+		return Verdict{}
+	}
+	if v := get("BenchmarkFig2ExecutionModel", "allocs/op"); !v.OK {
+		t.Errorf("fig2 alloc gate failed: %+v", v)
+	}
+	if v := get("BenchmarkServeThroughput/tcp-serial", "allocs/op"); v.OK || v.Observed != 17 {
+		t.Errorf("tcp-serial alloc gate should fail with 17: %+v", v)
+	}
+	if v := get("BenchmarkBatchSweep/sharded", "speedup"); !v.OK || v.Bound != 2.0 || v.Observed < 2.3 {
+		t.Errorf("speedup gate on 8 CPUs: %+v", v)
+	}
+	if v := get("BenchmarkMissing", "present"); v.OK {
+		t.Errorf("missing benchmark must fail: %+v", v)
+	}
+
+	// On 1 CPU the 0.7x floor applies instead.
+	vs1 := evaluate(gateFixture(), results, 1)
+	for _, v := range vs1 {
+		if v.Check == "speedup" && v.Bound != 0.7 {
+			t.Errorf("1-CPU speedup floor = %v, want 0.7", v.Bound)
+		}
+	}
+
+	out := formatVerdicts(vs, 8)
+	for _, want := range []string{"PASS", "FAIL", "speedup", "allocs/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPickSpeedup(t *testing.T) {
+	rules := []SpeedupRule{{MinCPUs: 4, Min: 2.0}, {MinCPUs: 2, Min: 1.2}, {MinCPUs: 0, Min: 0.7}}
+	for cpus, want := range map[int]float64{1: 0.7, 2: 1.2, 3: 1.2, 4: 2.0, 64: 2.0} {
+		r, ok := pickSpeedup(rules, cpus)
+		if !ok || r.Min != want {
+			t.Errorf("cpus=%d: rule %+v ok=%v, want floor %v", cpus, r, ok, want)
+		}
+	}
+	if _, ok := pickSpeedup([]SpeedupRule{{MinCPUs: 4, Min: 2}}, 2); ok {
+		t.Error("uncovered CPU count must report no rule")
+	}
+}

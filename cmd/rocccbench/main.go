@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rocccbench [-figures] [-estimation] [-throughput] [-all]
+//	rocccbench [-figures] [-estimation] [-throughput] [-sweep] [-serve] [-all]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 		estimation = flag.Bool("estimation", false, "print the area-estimation experiment")
 		throughput = flag.Bool("throughput", false, "print the DCT throughput experiment")
 		sweep      = flag.Bool("sweep", false, "print the batch sweep (serial vs sharded SystemPool)")
+		servesweep = flag.Bool("serve", false, "print the serve sweep (rocccserve TCP vs serial System.Run)")
 		jobs       = flag.Int("jobs", 64, "independent input streams per sweep")
 		workers    = flag.Int("workers", 0, "sweep shard width (0 = GOMAXPROCS)")
 		all        = flag.Bool("all", false, "print everything")
@@ -60,6 +61,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(exp.FormatSweeps([]*exp.SweepResult{fir, dct}))
+	}
+	if *servesweep || *all {
+		rows, err := exp.ServeSweep(*jobs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatServeSweep(rows))
 	}
 	if *estimation || *all {
 		est, err := exp.AreaEstimation()

@@ -1,0 +1,94 @@
+// Command rocccserve is the long-lived simulation service: the Table 1
+// kernels stay resident behind warm netlist.SystemPools, and clients
+// stream input windows in / output windows out over a length-prefixed
+// binary TCP protocol (see internal/serve/proto.go for the framing and
+// the README for a quickstart).
+//
+// Usage:
+//
+//	rocccserve [-addr :9944] [-workers N] [-max-idle N]
+//
+// Kernels compile on first request and stay cached (the compiled system
+// plan lives on the kernel itself, so every pooled System shares it).
+// SIGINT/SIGTERM drain gracefully: in-flight streams finish, new
+// requests are refused, then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"roccc/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9944", "TCP listen address")
+		workers = flag.Int("workers", 0, "pool shard width per kernel (0 = GOMAXPROCS)")
+		maxIdle = flag.Int("max-idle", 0, "cap on idle pooled Systems per kernel (0 = unbounded)")
+		grace   = flag.Duration("grace", 10*time.Second, "drain budget on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rocccserve: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(*workers)
+	srv.SetMaxIdle(*maxIdle)
+	names := make([]string, 0, 16)
+	for _, spec := range serve.Table1Specs() {
+		if err := srv.Register(spec); err != nil {
+			fatal(err)
+		}
+		names = append(names, spec.Name)
+	}
+	sort.Strings(names)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rocccserve: listening on %s\n", ln.Addr())
+	fmt.Printf("rocccserve: %d kernels resident (lazy-compiled): %v\n", len(names), names)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Printf("rocccserve: %v — draining (up to %s)\n", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "rocccserve: drain incomplete: %v\n", err)
+		}
+		<-done
+	}
+
+	streams, faults := srv.Served()
+	fmt.Printf("rocccserve: served %d streams (%d faults)\n", streams, faults)
+	for name, st := range srv.Stats() {
+		fmt.Printf("rocccserve: pool %-14s built=%d gets=%d puts=%d rejected=%d idle=%d jobs=%d\n",
+			name, st.Built, st.Gets, st.Puts, st.Rejected, st.Idle, st.Jobs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rocccserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package dp
+
+import "fmt"
+
+// Fault operator classes, as carried by FaultError.Op.
+const (
+	FaultDiv = "div" // division by zero
+	FaultRem = "rem" // modulo by zero
+	FaultLUT = "lut" // LUT index out of range
+)
+
+// FaultError is a data-path fault raised by a *valid* iteration — a zero
+// divisor reaching a DIV/REM stage, or a LUT index outside its ROM
+// (poisoned bubbles mask the same conditions instead of faulting). It is
+// typed, rather than an opaque fmt.Errorf, so layers above the simulator
+// — netlist.System.Run, SystemPool jobs, the rocccserve wire protocol —
+// can carry the abort cycle and operator class across process boundaries
+// and reconstruct the exact error on the far side.
+//
+// Cycle is the data-path clock of the aborted step (the step itself is
+// discarded: Sim.abort rewinds the ring, so simulator state is exactly
+// as before the faulting call).
+type FaultError struct {
+	Op    string // FaultDiv, FaultRem or FaultLUT
+	Cycle int    // data-path cycle whose step aborted
+	Msg   string // rendered message, stable across the wire
+}
+
+func (e *FaultError) Error() string { return e.Msg }
+
+// faultErr builds the typed fault with its rendered message.
+func faultErr(op string, cycle int, format string, args ...any) *FaultError {
+	return &FaultError{Op: op, Cycle: cycle, Msg: fmt.Sprintf(format, args...)}
+}

@@ -514,7 +514,7 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 					break // poisoned lane: bubble masks the fault
 				}
 				s.abort(prevHead)
-				return nil, fmt.Errorf("dp: sim: division by zero on a valid iteration (cycle %d)", s.cycle)
+				return nil, faultErr(FaultDiv, s.cycle, "dp: sim: division by zero on a valid iteration (cycle %d)", s.cycle)
 			}
 			v = op.tw.wrap(s.fetch(&op.a) / b)
 		case vm.REM:
@@ -524,7 +524,7 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 					break // poisoned lane: bubble masks the fault
 				}
 				s.abort(prevHead)
-				return nil, fmt.Errorf("dp: sim: modulo by zero on a valid iteration (cycle %d)", s.cycle)
+				return nil, faultErr(FaultRem, s.cycle, "dp: sim: modulo by zero on a valid iteration (cycle %d)", s.cycle)
 			}
 			v = op.tw.wrap(s.fetch(&op.a) % b)
 		case vm.AND:
@@ -583,7 +583,7 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 					continue
 				}
 				s.abort(prevHead)
-				return nil, fmt.Errorf("dp: sim: LUT index %d out of range for %s", ix, op.rom.Name)
+				return nil, faultErr(FaultLUT, s.cycle, "dp: sim: LUT index %d out of range for %s (cycle %d)", ix, op.rom.Name, s.cycle)
 			}
 			ring[int(op.slot)+head] = op.rom.Content[ix]
 			continue

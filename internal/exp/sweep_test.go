@@ -1,6 +1,9 @@
 package exp
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestSystemSweep: the sharded sweep must verify bit-identical against
 // the serial path (systemSweep fails internally on any divergence) and
@@ -32,5 +35,44 @@ func TestDCTSystemSweep(t *testing.T) {
 	}
 	if r.Kernel != "dct" || r.Cycles <= 0 {
 		t.Fatalf("unexpected result: %+v", r)
+	}
+}
+
+// TestServeSweep is the serve acceptance harness: every Table 1 kernel
+// served over TCP must be bit-identical to serial System.Run, the
+// feedback row (mul_acc) must surface its latch, the fault kernel must
+// abort with the serial cycle, and the combinational rows must be
+// refused with a clear diagnosis.
+func TestServeSweep(t *testing.T) {
+	rows, err := ServeSweep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ServeRow{}
+	for _, r := range rows {
+		byName[r.Kernel] = r
+	}
+	if len(rows) != 10 { // nine Table 1 rows + the fault divider
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, name := range []string{"mul_acc", "fir", "dct", "wavelet"} {
+		r, ok := byName[name]
+		if !ok || r.Skipped != "" || r.Streams != 4 {
+			t.Errorf("%s: row %+v, want 4 served streams", name, r)
+		}
+	}
+	for _, name := range []string{"bit_correlator", "udiv", "square_root", "cos", "arbitrary_lut"} {
+		if r := byName[name]; r.Skipped == "" {
+			t.Errorf("%s: combinational row was not skipped: %+v", name, r)
+		}
+	}
+	if r := byName["divide_fault"]; r.Faults != 2 { // odd streams plant a zero
+		t.Errorf("divide_fault: %d faults, want 2: %+v", r.Faults, r)
+	}
+	out := FormatServeSweep(rows)
+	for _, want := range []string{"bit-identical", "divide_fault", "skipped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q in:\n%s", want, out)
+		}
 	}
 }

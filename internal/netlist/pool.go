@@ -40,6 +40,37 @@ type SystemPool struct {
 	runMu   sync.Mutex // serializes RunBatch calls on one pool
 
 	closed atomic.Bool
+
+	// Admission/metrics counters (Stats). maxIdle bounds the free list
+	// when set (> 0): a long-lived service can cap how many warm Systems
+	// one kernel keeps resident.
+	maxIdle  atomic.Int64
+	built    atomic.Int64
+	gets     atomic.Int64
+	puts     atomic.Int64
+	rejected atomic.Int64
+	batches  atomic.Int64
+	jobs     atomic.Int64
+}
+
+// PoolStats is a snapshot of a SystemPool's admission and usage
+// counters. Services expose it for observability; tests use it to prove
+// pooled Systems are returned rather than leaked (a balanced pool has
+// Gets == Puts + Rejected once all work has drained).
+type PoolStats struct {
+	// Built counts Systems constructed for this pool (the eager one at
+	// NewSystemPool plus every Get that missed the free list).
+	Built int64
+	// Gets and Puts count successful checkouts and accepted returns.
+	Gets, Puts int64
+	// Rejected counts Puts refused admission: foreign Systems (wrong
+	// kernel/datapath/bus/scalars) and returns beyond the MaxIdle cap.
+	Rejected int64
+	// Idle is the current free-list depth.
+	Idle int
+	// Batches and Jobs count RunBatch calls and jobs executed through
+	// RunBatch and RunJob.
+	Batches, Jobs int64
 }
 
 // sweepRun is the shared state of one RunBatch call, reused across
@@ -52,15 +83,20 @@ type sweepRun struct {
 
 // Job is one independent input stream for RunBatch: the per-array input
 // data in, the per-array results, consumed cycle count and error out.
-// Outputs buffers are reused when present (allocated on first use
-// otherwise), so a sweep that recycles its Job slice reaches a
-// zero-allocation steady state.
+// Outputs buffers and the Feedbacks map are reused when present
+// (allocated on first use otherwise), so a sweep that recycles its Job
+// slice reaches a zero-allocation steady state.
 type Job struct {
 	// Inputs maps input array names to their data (one element per
 	// address), as LoadInput takes them.
 	Inputs map[string][]int64
 	// Outputs receives one slice per output array, sized to the array.
 	Outputs map[string][]int64
+	// Feedbacks receives the final value of every feedback latch (by
+	// state-variable name) when the kernel's data path has any — the
+	// observable result of accumulator-style kernels with no output
+	// arrays, e.g. Table 1's mul_acc.
+	Feedbacks map[string]int64
 	// Cycles is the clock count the stream's Run consumed.
 	Cycles int
 	// Err is the stream's failure, if any; other jobs still run.
@@ -95,11 +131,47 @@ func NewSystemPool(k *hir.Kernel, d *dp.Datapath, cfg Config, workers int) (*Sys
 		kick:    make(chan *sweepRun, workers),
 		run:     &sweepRun{},
 	}
+	p.built.Store(1)
 	return p, nil
 }
 
 // Workers returns the pool's shard width.
 func (p *SystemPool) Workers() int { return p.workers }
+
+// SetMaxIdle caps the free list: a Put that would grow it past n is
+// dropped (and counted as Rejected). n <= 0 removes the cap. Idle
+// Systems already beyond a newly lowered cap are dropped immediately,
+// so the resident memory actually shrinks.
+func (p *SystemPool) SetMaxIdle(n int) {
+	p.maxIdle.Store(int64(n))
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) > n {
+		for i := n; i < len(p.free); i++ {
+			p.free[i] = nil // release for GC
+		}
+		p.free = p.free[:n]
+	}
+	p.mu.Unlock()
+}
+
+// Stats snapshots the pool's admission and usage counters.
+func (p *SystemPool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := len(p.free)
+	p.mu.Unlock()
+	return PoolStats{
+		Built:    p.built.Load(),
+		Gets:     p.gets.Load(),
+		Puts:     p.puts.Load(),
+		Rejected: p.rejected.Load(),
+		Idle:     idle,
+		Batches:  p.batches.Load(),
+		Jobs:     p.jobs.Load(),
+	}
+}
 
 // Get returns a Reset System for the pool's kernel, reusing a pooled
 // one when available. Callers hand it back with Put.
@@ -109,24 +181,61 @@ func (p *SystemPool) Get() (*System, error) {
 		sys := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
+		p.gets.Add(1)
 		return sys, nil
 	}
 	p.mu.Unlock()
-	return NewSystem(p.kernel, p.dpath, p.cfg)
+	sys, err := NewSystem(p.kernel, p.dpath, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.built.Add(1)
+	p.gets.Add(1)
+	return sys, nil
 }
 
 // Put resets a System and returns it to the pool. Systems built for a
 // different kernel, data path, bus width or scalar binding are dropped
-// rather than poisoning the pool.
+// rather than poisoning the pool, as are returns beyond the MaxIdle cap.
 func (p *SystemPool) Put(sys *System) {
 	if sys == nil || sys.Kernel != p.kernel || sys.Datapath != p.dpath ||
 		sys.BusElems != p.cfg.BusElems || !slices.Equal(sys.scalarVals, p.scalars) {
+		if sys != nil {
+			p.rejected.Add(1)
+		}
 		return
 	}
 	sys.Reset()
+	max := int(p.maxIdle.Load())
 	p.mu.Lock()
+	if max > 0 && len(p.free) >= max {
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return
+	}
 	p.free = append(p.free, sys)
 	p.mu.Unlock()
+	p.puts.Add(1)
+}
+
+// RunJob streams one job through a pooled System — Reset, LoadInput,
+// Run, harvest — returning the System to the pool afterwards (also on
+// failure: a faulted System Resets cleanly). Unlike RunBatch it does not
+// serialize on the pool's batch lock, so a service can run many
+// independent single-stream requests concurrently against one pool; the
+// steady state (reused Job buffers, warm free list) allocates nothing.
+func (p *SystemPool) RunJob(job *Job) error {
+	if p.closed.Load() {
+		return fmt.Errorf("netlist: RunJob on a closed SystemPool")
+	}
+	sys, err := p.Get()
+	if err != nil {
+		return err
+	}
+	p.jobs.Add(1)
+	job.Err = runJob(sys, job)
+	p.Put(sys)
+	return job.Err
 }
 
 // RunBatch executes every job — Reset, LoadInput, Run, harvest — over
@@ -149,6 +258,8 @@ func (p *SystemPool) RunBatch(jobs []Job) error {
 			go p.worker()
 		}
 	})
+	p.batches.Add(1)
+	p.jobs.Add(int64(len(jobs)))
 	w := min(p.workers, len(jobs))
 	r := p.run
 	r.jobs = jobs
@@ -209,12 +320,22 @@ func runJob(sys *System, job *Job) error {
 			return err
 		}
 	}
-	if _, err := sys.Run(); err != nil {
+	sim, err := sys.Run()
+	if err != nil {
 		return err
 	}
 	job.Cycles = sys.Cycles()
 	if job.Outputs == nil {
 		job.Outputs = make(map[string][]int64, len(sys.outBRAMs))
+	}
+	// A Job recycled across kernels may carry keys this kernel never
+	// writes; purge them so the result holds exactly this run's arrays.
+	// Same-kernel reuse (the zero-alloc steady state) deletes nothing
+	// and allocates nothing (map iteration + lookups only).
+	for name := range job.Outputs {
+		if _, ok := sys.outBRAMs[name]; !ok {
+			delete(job.Outputs, name)
+		}
 	}
 	for name, bram := range sys.outBRAMs {
 		dst := job.Outputs[name]
@@ -224,6 +345,23 @@ func runJob(sys *System, job *Job) error {
 		}
 		if err := sys.OutputInto(name, dst); err != nil {
 			return err
+		}
+	}
+	if job.Feedbacks != nil {
+		for name := range job.Feedbacks {
+			if _, ok := sim.FeedbackByName(name); !ok {
+				delete(job.Feedbacks, name)
+			}
+		}
+	}
+	if fbs := sys.Datapath.Feedbacks; len(fbs) > 0 {
+		if job.Feedbacks == nil {
+			job.Feedbacks = make(map[string]int64, len(fbs))
+		}
+		for _, fb := range fbs {
+			if v, ok := sim.FeedbackByName(fb.State.Name); ok {
+				job.Feedbacks[fb.State.Name] = v
+			}
 		}
 	}
 	return nil

@@ -304,3 +304,213 @@ func TestConcurrentPlanCacheSharing(t *testing.T) {
 		}
 	}
 }
+
+// TestSystemPoolStats pins the admission/metrics counters a service
+// builds on: Gets balance Puts+Rejected once work drains (no leaked
+// Systems), Built counts constructions, and the MaxIdle cap rejects
+// returns beyond it.
+func TestSystemPoolStats(t *testing.T) {
+	res, _ := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, Config{BusElems: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	st := pool.Stats()
+	if st.Built != 1 || st.Idle != 1 || st.Gets != 0 {
+		t.Fatalf("fresh pool stats = %+v, want Built=1 Idle=1 Gets=0", st)
+	}
+
+	jobs := firJobs(9)
+	if err := pool.RunBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.RunJob(&jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	st = pool.Stats()
+	if st.Gets != st.Puts+st.Rejected {
+		t.Fatalf("leaked Systems: %+v (Gets != Puts+Rejected)", st)
+	}
+	if st.Batches != 1 || st.Jobs != 10 {
+		t.Fatalf("stats = %+v, want Batches=1 Jobs=10", st)
+	}
+	if st.Idle < 1 {
+		t.Fatalf("stats = %+v, want at least one idle System", st)
+	}
+
+	// A foreign System counts as Rejected, not Put.
+	other, err := NewSystem(res.Kernel, res.Datapath, Config{BusElems: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pool.Stats()
+	pool.Put(other)
+	if st = pool.Stats(); st.Rejected != before.Rejected+1 || st.Puts != before.Puts {
+		t.Fatalf("foreign Put: %+v -> %+v, want one more Rejected", before, st)
+	}
+
+	// MaxIdle caps the free list.
+	pool.SetMaxIdle(1)
+	a, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(a)
+	before = pool.Stats()
+	pool.Put(b) // free list already at the cap
+	st = pool.Stats()
+	if st.Idle != 1 || st.Rejected != before.Rejected+1 {
+		t.Fatalf("MaxIdle=1: stats %+v, want Idle=1 and one more Rejected", st)
+	}
+}
+
+// TestRunJobHarvestsFeedbacks: a feedback kernel with no output arrays
+// must surface its latch value through Job.Feedbacks, and reusing the
+// Job must reuse the map.
+func TestRunJobHarvestsFeedbacks(t *testing.T) {
+	src := `
+int A[32];
+int sum;
+void accum() {
+	int i;
+	sum = 0;
+	for (i = 0; i < 32; i++) {
+		sum = sum + A[i];
+	}
+}
+`
+	res, _ := buildSystem(t, src, "accum", core.DefaultOptions(), Config{BusElems: 1})
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, Config{BusElems: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	in := make([]int64, 32)
+	var want int64
+	for i := range in {
+		in[i] = int64(i*3 - 40)
+		want += in[i]
+	}
+	job := Job{Inputs: map[string][]int64{"A": in}}
+	if err := pool.RunJob(&job); err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Feedbacks["sum"]; got != want {
+		t.Fatalf("Feedbacks[sum] = %d, want %d", got, want)
+	}
+	fb := job.Feedbacks
+	in[0] += 5
+	want += 5
+	if err := pool.RunJob(&job); err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Feedbacks["sum"]; got != want {
+		t.Fatalf("rerun Feedbacks[sum] = %d, want %d", got, want)
+	}
+	if fmt.Sprintf("%p", fb) != fmt.Sprintf("%p", job.Feedbacks) {
+		t.Fatal("Feedbacks map was reallocated on reuse")
+	}
+}
+
+// TestSystemPoolMaxIdleTrim: lowering the cap must drop idle Systems
+// immediately, not only refuse future Puts.
+func TestSystemPoolMaxIdleTrim(t *testing.T) {
+	res, _ := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, Config{BusElems: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var held []*System
+	for i := 0; i < 3; i++ {
+		s, err := pool.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, s)
+	}
+	for _, s := range held {
+		pool.Put(s)
+	}
+	if st := pool.Stats(); st.Idle != 3 {
+		t.Fatalf("Idle = %d, want 3 before the trim", st.Idle)
+	}
+	pool.SetMaxIdle(1)
+	if st := pool.Stats(); st.Idle != 1 {
+		t.Fatalf("Idle = %d after SetMaxIdle(1), want 1", st.Idle)
+	}
+}
+
+// TestJobReuseAcrossKernels: recycling one Job between kernels must not
+// leave the previous kernel's arrays or latches in the result maps.
+func TestJobReuseAcrossKernels(t *testing.T) {
+	firRes, _ := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	accumSrc := `
+int A[32];
+int sum;
+void accum() {
+	int i;
+	sum = 0;
+	for (i = 0; i < 32; i++) {
+		sum = sum + A[i];
+	}
+}
+`
+	accumRes, err := core.CompileSource(accumSrc, "accum", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	firPool, err := NewSystemPool(firRes.Kernel, firRes.Datapath, Config{BusElems: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer firPool.Close()
+	accumPool, err := NewSystemPool(accumRes.Kernel, accumRes.Datapath, Config{BusElems: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer accumPool.Close()
+
+	job := Job{Inputs: firJobs(1)[0].Inputs}
+	if err := firPool.RunJob(&job); err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Outputs["C"]) != 17 || len(job.Feedbacks) != 0 {
+		t.Fatalf("fir run: Outputs=%v Feedbacks=%v", job.Outputs, job.Feedbacks)
+	}
+
+	// Same Job, different kernel: fir's C must vanish, accum's sum appear.
+	in := make([]int64, 32)
+	var want int64
+	for i := range in {
+		in[i] = int64(i)
+		want += in[i]
+	}
+	job.Inputs = map[string][]int64{"A": in}
+	if err := accumPool.RunJob(&job); err != nil {
+		t.Fatal(err)
+	}
+	if _, stale := job.Outputs["C"]; stale {
+		t.Fatalf("stale fir output survived kernel switch: %v", job.Outputs)
+	}
+	if got := job.Feedbacks["sum"]; got != want {
+		t.Fatalf("Feedbacks[sum] = %d, want %d", got, want)
+	}
+
+	// And back: accum's latch must vanish from the fir result.
+	job.Inputs = firJobs(1)[0].Inputs
+	if err := firPool.RunJob(&job); err != nil {
+		t.Fatal(err)
+	}
+	if _, stale := job.Feedbacks["sum"]; stale {
+		t.Fatalf("stale feedback survived kernel switch: %v", job.Feedbacks)
+	}
+	if len(job.Outputs["C"]) != 17 {
+		t.Fatalf("fir rerun outputs: %v", job.Outputs)
+	}
+}

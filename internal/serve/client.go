@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"roccc/internal/dp"
+	"roccc/internal/netlist"
+)
+
+// Client is the request surface shared by the TCP client (Conn) and the
+// in-process client (Local): Run streams a batch of independent input
+// streams through one kernel. Per-stream results land in each
+// netlist.Job in place — Outputs, Feedbacks, Cycles on success, a typed
+// error in Job.Err on a mid-stream fault — and buffers are reused across
+// calls, so steady-state request loops do not allocate in the pool path.
+// Run's own error is the first stream failure (request-level failures —
+// unknown kernel, transport loss, server drain — abort the whole batch).
+type Client interface {
+	Run(kernel string, streams []netlist.Job) error
+	Close() error
+}
+
+// firstStreamErr mirrors SystemPool.RunBatch's contract: the returned
+// error is the first per-stream failure in stream order.
+func firstStreamErr(kernel string, streams []netlist.Job) error {
+	for i := range streams {
+		if streams[i].Err != nil {
+			return fmt.Errorf("serve: %s stream %d: %w", kernel, i, streams[i].Err)
+		}
+	}
+	return nil
+}
+
+// Local is the in-process client: no sockets, no framing — Run goes
+// straight to the kernel's warm SystemPool, which is also the path the
+// 0 allocs/op steady-state gate measures.
+type Local struct {
+	srv *Server
+}
+
+// Local returns an in-process client bound to this server.
+func (s *Server) Local() *Local { return &Local{srv: s} }
+
+// Run shards the streams across the kernel pool's worker crew.
+func (c *Local) Run(kernel string, streams []netlist.Job) error {
+	e, err := c.srv.entry(kernel)
+	if err != nil {
+		return err
+	}
+	if !c.srv.beginStream() {
+		return fmt.Errorf("serve: server is draining")
+	}
+	defer c.srv.endStream()
+	err = e.pool.Load().RunBatch(streams)
+	c.srv.served.Add(int64(len(streams)))
+	// Count faulted streams exactly as the TCP path does: one per
+	// stream whose error is a typed fault.
+	var faults int64
+	for i := range streams {
+		if streams[i].Err != nil {
+			var fe *dp.FaultError
+			if errors.As(streams[i].Err, &fe) {
+				faults++
+			}
+		}
+	}
+	if faults > 0 {
+		c.srv.faults.Add(faults)
+	}
+	// RunBatch's error is the first per-stream failure unless the pool
+	// itself was closed (no stream carries an error then).
+	if serr := firstStreamErr(kernel, streams); serr != nil {
+		return serr
+	}
+	return err
+}
+
+// Close is a no-op: the Local client owns no transport.
+func (c *Local) Close() error { return nil }
+
+// Conn is the TCP client. One request is in flight at a time; a Conn is
+// not safe for concurrent use (open one Conn per client goroutine —
+// they multiplex fine on the server side).
+type Conn struct {
+	c    net.Conn
+	enc  encoder
+	rbuf []byte
+	next uint32
+}
+
+// Dial connects to a rocccserve address.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}
+
+// Close closes the connection; in-flight server work completes and its
+// pooled Systems return to their pools.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Run sends one request (kernel + all streams) and collects the
+// responses, filling each stream's Job in place. Output and feedback
+// buffers are reused when already sized; input slices are only read.
+// A transport or framing failure leaves the connection's protocol state
+// unknown, so Run closes it (after joining its writer): later Runs on
+// the Conn fail fast instead of desynchronizing.
+func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
+	c.next++
+	req := c.next
+	for i := range streams {
+		streams[i].Err = nil
+	}
+
+	// Writer: Open + one frame per stream. Sending concurrently with the
+	// read loop below keeps large batches from deadlocking on TCP
+	// windows: the server responds while later streams are still being
+	// written.
+	werr := make(chan error, 1)
+	go func() {
+		e := &c.enc
+		e.begin(frameOpen, req)
+		e.str8(kernel)
+		e.u32(uint32(len(streams)))
+		if _, err := c.c.Write(e.finish()); err != nil {
+			werr <- err
+			return
+		}
+		for i := range streams {
+			e.begin(frameStream, req)
+			e.u32(uint32(i))
+			e.u16(uint16(len(streams[i].Inputs)))
+			for name, vals := range streams[i].Inputs {
+				e.str8(name)
+				e.vals(vals)
+			}
+			if _, err := c.c.Write(e.finish()); err != nil {
+				werr <- err
+				return
+			}
+		}
+		werr <- nil
+	}()
+
+	// Reader: one response per stream, then Done (or a request-level
+	// error, which aborts the batch). writerJoined marks the paths that
+	// saw the writer finish; every other (error) return closes the
+	// connection first, so the writer's blocked Write fails and the
+	// goroutine cannot race a later Run on the shared encoder.
+	writerJoined := false
+	defer func() {
+		if !writerJoined {
+			c.c.Close()
+			<-werr
+		}
+	}()
+	answered := 0
+	for {
+		payload, rerr := readFrame(c.c, c.rbuf)
+		if rerr != nil {
+			return fmt.Errorf("serve: reading response: %w", rerr)
+		}
+		c.rbuf = payload[:cap(payload)]
+		if cap(c.rbuf) > bufHighWater && len(payload) < bufHighWater/4 {
+			c.rbuf = nil // small traffic again: stop pinning the high-water scratch
+		}
+		d := decoder{b: payload}
+		typ := d.u8()
+		gotReq := d.u32()
+		// The only frame allowed to carry a different request id is an
+		// unattributable protocol error (id reqNone); anything else out
+		// of sequence means the stream state is unknown.
+		if gotReq != req && !(typ == frameError && gotReq == reqNone) {
+			return fmt.Errorf("serve: response for request %d while %d in flight", gotReq, req)
+		}
+		switch typ {
+		case frameResult:
+			idx := int(d.u32())
+			if idx < 0 || idx >= len(streams) {
+				return fmt.Errorf("serve: result for unknown stream %d", idx)
+			}
+			job := &streams[idx]
+			job.Cycles = int(d.u64())
+			nouts := int(d.u16())
+			if job.Outputs == nil && nouts > 0 {
+				job.Outputs = make(map[string][]int64, nouts)
+			}
+			// A Job reused across kernels may hold keys this response
+			// never sends; remember the frame's names when the maps were
+			// already populated, and purge everything else afterwards.
+			// First fills (empty maps) skip the bookkeeping entirely.
+			var outNames, fbNames []string
+			collectOut := len(job.Outputs) > 0
+			for i := 0; i < nouts; i++ {
+				name := d.str8()
+				vals := d.valsInto(job.Outputs[name])
+				if d.err != nil {
+					break
+				}
+				job.Outputs[name] = vals
+				if collectOut {
+					outNames = append(outNames, name)
+				}
+			}
+			nfb := int(d.u16())
+			if job.Feedbacks == nil && nfb > 0 {
+				job.Feedbacks = make(map[string]int64, nfb)
+			}
+			collectFb := len(job.Feedbacks) > 0
+			for i := 0; i < nfb; i++ {
+				name := d.str8()
+				job.Feedbacks[name] = d.i64()
+				if collectFb {
+					fbNames = append(fbNames, name)
+				}
+			}
+			if d.err != nil {
+				return fmt.Errorf("serve: malformed result frame: %w", d.err)
+			}
+			if len(job.Outputs) > nouts {
+				purgeStale(job.Outputs, outNames)
+			}
+			if len(job.Feedbacks) > nfb {
+				purgeStale(job.Feedbacks, fbNames)
+			}
+			answered++
+		case frameFault:
+			idx := int(d.u32())
+			if idx < 0 || idx >= len(streams) {
+				return fmt.Errorf("serve: fault for unknown stream %d", idx)
+			}
+			cycle := int(d.u32())
+			op := d.str8()
+			msg := d.str16()
+			if d.err != nil {
+				return fmt.Errorf("serve: malformed fault frame: %w", d.err)
+			}
+			// Reconstruct the exact typed error a serial System.Run
+			// raises: same operator class, abort cycle and message.
+			streams[idx].Err = &dp.FaultError{Op: op, Cycle: cycle, Msg: msg}
+			answered++
+		case frameError:
+			idx := d.u32()
+			msg := d.str16()
+			if d.err != nil {
+				return fmt.Errorf("serve: malformed error frame: %w", d.err)
+			}
+			if idx == streamNone {
+				<-werr // writer may have failed too; the request error wins
+				writerJoined = true
+				return fmt.Errorf("serve: request failed: %s", msg)
+			}
+			if int(idx) >= len(streams) {
+				return fmt.Errorf("serve: error for unknown stream %d", idx)
+			}
+			streams[idx].Err = fmt.Errorf("serve: %s", msg)
+			answered++
+		case frameDone:
+			werrv := <-werr
+			writerJoined = true
+			if werrv != nil {
+				// Done despite a failed send: the connection state is
+				// inconsistent — kill it.
+				c.c.Close()
+				return fmt.Errorf("serve: sending request: %w", werrv)
+			}
+			if answered != len(streams) {
+				c.c.Close()
+				return fmt.Errorf("serve: done after %d of %d responses", answered, len(streams))
+			}
+			return firstStreamErr(kernel, streams)
+		default:
+			return fmt.Errorf("serve: unexpected response frame %q", typ)
+		}
+	}
+}
+
+// purgeStale deletes map keys that are not in keep (the names one
+// response frame actually carried).
+func purgeStale[V any](m map[string]V, keep []string) {
+	for k := range m {
+		found := false
+		for _, s := range keep {
+			if s == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(m, k)
+		}
+	}
+}

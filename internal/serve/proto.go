@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: length-prefixed binary frames over a byte stream.
+//
+// Every frame is
+//
+//	u32  payload length (big-endian, not counting these 4 bytes)
+//	u8   frame type
+//	u32  request id
+//	...  type-specific body
+//
+// Client → server:
+//
+//	'O' open    u8 kernel-name-len, name, u32 stream-count
+//	'S' stream  u32 stream-idx, u16 #arrays,
+//	            each: u8 name-len, name, u32 #elems, elems × i64
+//
+// Server → client:
+//
+//	'R' result  u32 stream-idx, u64 cycles,
+//	            u16 #outputs,   each: u8 name-len, name, u32 #elems, elems × i64
+//	            u16 #feedbacks, each: u8 name-len, name, i64 value
+//	'F' fault   u32 stream-idx, u32 abort-cycle, u8 op-len, op,
+//	            u16 msg-len, msg      (a dp.FaultError, cycle-exact)
+//	'E' error   u32 stream-idx (0xFFFFFFFF = request-level), u16 msg-len, msg
+//	'D' done    (empty body: every stream of the request was answered)
+//
+// A request is one 'O' frame followed by exactly stream-count 'S'
+// frames. The server answers each stream with one 'R', 'F' or
+// stream-level 'E' frame — in completion order, not stream order; the
+// stream-idx identifies the stream — and finishes the request with 'D'.
+// A request-level 'E' (unknown kernel, kernel fails to compile, server
+// draining) aborts the whole request: no 'D' follows and subsequent 'S'
+// frames for that request id are discarded. Backpressure is the byte
+// stream's own: the server stops reading while its per-connection
+// executor is saturated, and a client that stops reading eventually
+// blocks the server's writes.
+const (
+	frameOpen   = 'O'
+	frameStream = 'S'
+	frameResult = 'R'
+	frameFault  = 'F'
+	frameError  = 'E'
+	frameDone   = 'D'
+)
+
+// reqNone is the request id used for errors that cannot be attributed to
+// a request (malformed frames); streamNone marks request-level errors.
+const (
+	reqNone    = ^uint32(0)
+	streamNone = ^uint32(0)
+)
+
+// maxFrame bounds one frame's payload; a length prefix beyond it is a
+// protocol error (it would otherwise size a multi-gigabyte read from a
+// single corrupt word).
+const maxFrame = 64 << 20
+
+// maxName bounds kernel and array names (they travel as u8-length
+// strings).
+const maxName = 255
+
+// bufHighWater is the receive-scratch retention bound: after one
+// oversized frame, a long-lived connection's reuse buffer is dropped as
+// soon as traffic returns to small frames, instead of pinning the
+// high-water allocation for the connection's lifetime.
+const bufHighWater = 1 << 20
+
+// encoder builds one frame in a reusable buffer. The length prefix is
+// patched in finish, so frames are written with a single Write call —
+// concurrent responders never interleave partial frames.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) begin(typ byte, req uint32) {
+	e.buf = append(e.buf[:0], 0, 0, 0, 0, typ)
+	e.u32(req)
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+
+func (e *encoder) str8(s string) {
+	if len(s) > maxName {
+		s = s[:maxName]
+	}
+	e.u8(uint8(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) str16(s string) {
+	if len(s) > 1<<16-1 {
+		s = s[:1<<16-1]
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) vals(v []int64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.i64(x)
+	}
+}
+
+// finish patches the length prefix and returns the complete frame.
+func (e *encoder) finish() []byte {
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	return e.buf
+}
+
+// readFrame reads one length-prefixed frame payload into buf (grown as
+// needed) and returns the payload.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("serve: zero-length frame")
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("serve: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// decoder walks one frame payload; the first decoding overrun latches
+// into err and every later read returns zero values, so call sites check
+// once at the end.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("serve: truncated frame body at offset %d", d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) str8() string {
+	n := int(d.u8())
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) str16() string {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// valsInto decodes a u32-counted i64 vector, reusing dst when it already
+// has the right length (the client's steady-state buffer-reuse path).
+func (d *decoder) valsInto(dst []int64) []int64 {
+	n := int(d.u32())
+	if d.err != nil || d.off+8*n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	if len(dst) != n {
+		dst = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = int64(binary.BigEndian.Uint64(d.b[d.off:]))
+		d.off += 8
+	}
+	return dst
+}
+
+// remaining reports whether undecoded bytes are left (a well-formed
+// frame is consumed exactly).
+func (d *decoder) remaining() bool { return d.err == nil && d.off != len(d.b) }

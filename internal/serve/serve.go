@@ -1,0 +1,578 @@
+// Package serve is the long-lived simulation service over
+// netlist.SystemPool: many kernels resident, request = input streams,
+// response = output streams. A server compiles and caches each kernel on
+// first use (the compiled system plan lives on hir.Kernel.PlanCache, so
+// every pooled System shares it), keeps a warm SystemPool per kernel,
+// and speaks a length-prefixed binary framing over TCP (proto.go).
+// Mid-stream faults — e.g. a divide-by-zero on a valid iteration —
+// travel as typed dp.FaultError values carrying the abort cycle, so a
+// served fault is indistinguishable from the same fault raised by a
+// serial netlist.System.Run.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roccc/internal/bench"
+	"roccc/internal/core"
+	"roccc/internal/dp"
+	"roccc/internal/netlist"
+)
+
+// KernelSpec names one servable kernel: the C source, the function to
+// extract, its compile options and the system configuration its pooled
+// Systems are built with. Compilation is deferred to the first request.
+type KernelSpec struct {
+	Name    string
+	Source  string
+	Func    string
+	Options core.Options
+	Config  netlist.Config
+}
+
+// SpecFor adapts a Table 1 bench kernel to a servable spec.
+func SpecFor(k bench.Kernel) KernelSpec {
+	return KernelSpec{
+		Name:    k.Name,
+		Source:  k.Source,
+		Func:    k.Func,
+		Options: k.Options,
+		Config:  netlist.Config{BusElems: k.BusElems, Scalars: k.Scalars},
+	}
+}
+
+// Table1Specs returns every Table 1 kernel as a servable spec. The
+// combinational rows (fully unrolled bit-level kernels, LUTs) carry no
+// loop nest, so a request for them reports a typed request error at
+// first use rather than at registration.
+func Table1Specs() []KernelSpec {
+	ks := bench.All()
+	specs := make([]KernelSpec, len(ks))
+	for i, k := range ks {
+		specs[i] = SpecFor(k)
+	}
+	return specs
+}
+
+// kernelEntry is one registered kernel: compiled on first use, then a
+// warm pool of Systems for the rest of the server's life. pool is an
+// atomic pointer because Stats/SetMaxIdle/Shutdown peek at it from
+// other goroutines while a first request may still be compiling.
+type kernelEntry struct {
+	spec KernelSpec
+	once sync.Once
+	pool atomic.Pointer[netlist.SystemPool]
+	err  error
+}
+
+func (e *kernelEntry) ensure(workers, maxIdle int) error {
+	e.once.Do(func() {
+		res, err := core.CompileSource(e.spec.Source, e.spec.Func, e.spec.Options)
+		if err != nil {
+			e.err = fmt.Errorf("serve: kernel %q: %w", e.spec.Name, err)
+			return
+		}
+		pool, err := netlist.NewSystemPool(res.Kernel, res.Datapath, e.spec.Config, workers)
+		if err != nil {
+			e.err = fmt.Errorf("serve: kernel %q: %w", e.spec.Name, err)
+			return
+		}
+		pool.SetMaxIdle(maxIdle)
+		e.pool.Store(pool)
+	})
+	return e.err
+}
+
+// Server is the streaming simulation service. Zero value is not usable;
+// build with NewServer, Register kernels, then Serve a listener (or use
+// the in-process client via Local).
+type Server struct {
+	workers int
+	maxIdle atomic.Int64 // per-pool idle cap, applied as kernels compile
+
+	mu      sync.Mutex
+	kernels map[string]*kernelEntry
+	conns   map[net.Conn]struct{}
+	ln      net.Listener
+
+	// streams tracks in-flight stream executions across all connections
+	// and in-process clients, for graceful drain. drainMu orders stream
+	// admission against the closing transition: admissions hold the read
+	// side while they check closing and Add, Shutdown takes the write
+	// side to flip closing — so no Add can race a Wait parked on a zero
+	// counter (documented sync.WaitGroup misuse).
+	drainMu  sync.RWMutex
+	streams  sync.WaitGroup
+	inflight atomic.Int64
+	closing  atomic.Bool
+
+	// Served counters (for logs/metrics).
+	served atomic.Int64
+	faults atomic.Int64
+}
+
+// NewServer builds a server whose per-kernel pools shard across workers
+// goroutines (<= 0 means GOMAXPROCS); workers also bounds each
+// connection's concurrent stream executions. The value is normalized
+// here so the connection executors see the same width the pools do.
+func NewServer(workers int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		workers: workers,
+		kernels: map[string]*kernelEntry{},
+		conns:   map[net.Conn]struct{}{},
+	}
+}
+
+// Register adds a kernel spec. Re-registering a name is an error (the
+// pool identity would silently change under live clients).
+func (s *Server) Register(spec KernelSpec) error {
+	if spec.Name == "" || len(spec.Name) > maxName {
+		return fmt.Errorf("serve: invalid kernel name %q", spec.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.kernels[spec.Name]; dup {
+		return fmt.Errorf("serve: kernel %q already registered", spec.Name)
+	}
+	s.kernels[spec.Name] = &kernelEntry{spec: spec}
+	return nil
+}
+
+// Kernels lists registered kernel names (sorted by registration map
+// iteration — callers sort if they need stable order).
+func (s *Server) Kernels() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.kernels))
+	for n := range s.kernels {
+		names = append(names, n)
+	}
+	return names
+}
+
+// entry resolves and compiles a kernel by name.
+func (s *Server) entry(name string) (*kernelEntry, error) {
+	s.mu.Lock()
+	e, ok := s.kernels[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown kernel %q", name)
+	}
+	if err := e.ensure(s.workers, int(s.maxIdle.Load())); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetMaxIdle caps each kernel pool's idle free list (<= 0 removes the
+// cap). It applies to pools compiled after the call and to already-warm
+// pools immediately.
+func (s *Server) SetMaxIdle(n int) {
+	s.maxIdle.Store(int64(n))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.kernels {
+		if pool := e.pool.Load(); pool != nil {
+			pool.SetMaxIdle(n)
+		}
+	}
+}
+
+// Stats snapshots each compiled kernel's pool counters.
+func (s *Server) Stats() map[string]netlist.PoolStats {
+	s.mu.Lock()
+	entries := make([]*kernelEntry, 0, len(s.kernels))
+	for _, e := range s.kernels {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	out := map[string]netlist.PoolStats{}
+	for _, e := range entries {
+		if pool := e.pool.Load(); pool != nil {
+			out[e.spec.Name] = pool.Stats()
+		}
+	}
+	return out
+}
+
+// Served returns the total streams answered and the faulted subset.
+func (s *Server) Served() (streams, faults int64) {
+	return s.served.Load(), s.faults.Load()
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until the listener closes (Shutdown).
+// It returns nil after a graceful Shutdown, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		// Register under mu with a closing re-check in the same critical
+		// section: Shutdown flips closing before its close-all pass takes
+		// mu, so a conn either lands in s.conns in time to be closed
+		// there, or sees closing here and is refused — never neither.
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// Addr returns the listening address (for tests using ":0").
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// beginStream admits one stream execution unless the server is
+// draining; endStream retires it. See drainMu for the ordering contract.
+func (s *Server) beginStream() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.closing.Load() {
+		return false
+	}
+	s.streams.Add(1)
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) endStream() {
+	s.inflight.Add(-1)
+	s.streams.Done()
+}
+
+// Shutdown drains the server: new requests are refused, in-flight
+// streams finish, then connections close and the per-kernel worker
+// crews stop. ctx bounds the drain; on expiry remaining connections are
+// closed anyway and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.closing.Store(true)
+	s.drainMu.Unlock()
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.streams.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	clear(s.conns)
+	entries := make([]*kernelEntry, 0, len(s.kernels))
+	for _, e := range s.kernels {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		if pool := e.pool.Load(); pool != nil {
+			pool.Close()
+		}
+	}
+	return err
+}
+
+// reqState is one open request on a connection: the compiled kernel and
+// the count of stream responses still owed before 'D'.
+type reqState struct {
+	entry     *kernelEntry
+	remaining uint32 // responses owed; guarded by srvConn.mu
+}
+
+// srvConn is the server side of one client connection.
+type srvConn struct {
+	srv *Server
+	c   net.Conn
+
+	// wmu serializes response frames (executors finish out of order).
+	wmu sync.Mutex
+	enc encoder
+
+	mu   sync.Mutex
+	reqs map[uint32]*reqState
+
+	// sem bounds concurrent stream executions for this connection; the
+	// reader blocks acquiring it, which stops reading the socket and
+	// backpressures the client through TCP itself.
+	sem chan struct{}
+}
+
+func (s *Server) handle(c net.Conn) {
+	sc := &srvConn{
+		srv:  s,
+		c:    c,
+		reqs: map[uint32]*reqState{},
+		sem:  make(chan struct{}, s.workers),
+	}
+	defer func() {
+		// Wait for this connection's in-flight executors (they hold sem
+		// slots) so their pooled Systems are back before the conn is
+		// forgotten; response writes after close fail harmlessly.
+		for i := 0; i < cap(sc.sem); i++ {
+			sc.sem <- struct{}{}
+		}
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	var buf []byte
+	for {
+		payload, err := readFrame(c, buf)
+		if err != nil {
+			// Client went away (EOF / closed conn) or sent garbage. A
+			// protocol error (oversized/zero/truncated frame) gets a
+			// best-effort error frame before the close.
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				sc.writeError(reqNone, streamNone, err.Error())
+			}
+			return
+		}
+		buf = payload[:cap(payload)]
+		if cap(buf) > bufHighWater && len(payload) < bufHighWater/4 {
+			buf = nil // small traffic again: stop pinning the high-water scratch
+		}
+		if !sc.frame(payload) {
+			return
+		}
+	}
+}
+
+// frame dispatches one client frame; false closes the connection.
+func (sc *srvConn) frame(payload []byte) bool {
+	d := decoder{b: payload}
+	typ := d.u8()
+	req := d.u32()
+	switch typ {
+	case frameOpen:
+		kernel := d.str8()
+		count := d.u32()
+		if d.err != nil || d.remaining() {
+			sc.writeError(req, streamNone, "serve: malformed open frame")
+			return false
+		}
+		return sc.open(req, kernel, count)
+	case frameStream:
+		return sc.stream(req, &d)
+	default:
+		sc.writeError(req, streamNone, fmt.Sprintf("serve: unexpected frame type %q", typ))
+		return false
+	}
+}
+
+func (sc *srvConn) open(req uint32, kernel string, count uint32) bool {
+	if sc.srv.closing.Load() {
+		sc.writeError(req, streamNone, "serve: server is draining")
+		return true
+	}
+	sc.mu.Lock()
+	_, dup := sc.reqs[req]
+	sc.mu.Unlock()
+	if dup {
+		sc.writeError(req, streamNone, fmt.Sprintf("serve: request %d already open", req))
+		return false
+	}
+	entry, err := sc.srv.entry(kernel)
+	if err != nil {
+		sc.writeError(req, streamNone, err.Error())
+		return true // request refused; connection stays usable
+	}
+	if count == 0 {
+		sc.writeDone(req)
+		return true
+	}
+	sc.mu.Lock()
+	sc.reqs[req] = &reqState{entry: entry, remaining: count}
+	sc.mu.Unlock()
+	return true
+}
+
+func (sc *srvConn) stream(req uint32, d *decoder) bool {
+	idx := d.u32()
+	narr := int(d.u16())
+	sc.mu.Lock()
+	st := sc.reqs[req]
+	sc.mu.Unlock()
+	if st == nil {
+		// Unknown request id: either never opened (protocol misuse) or
+		// already aborted by a request-level error — drop the frame.
+		return true
+	}
+	job := netlist.Job{Inputs: make(map[string][]int64, narr)}
+	for i := 0; i < narr; i++ {
+		name := d.str8()
+		vals := d.valsInto(nil)
+		if d.err != nil {
+			break
+		}
+		job.Inputs[name] = vals
+	}
+	if d.err != nil || d.remaining() {
+		sc.writeError(req, streamNone, "serve: malformed stream frame")
+		return false
+	}
+
+	if !sc.srv.beginStream() {
+		// Draining: answer the stream with an error (keeping the 'D'
+		// accounting intact) instead of racing the shutdown Wait.
+		job.Err = fmt.Errorf("serve: server is draining")
+		sc.respond(req, idx, &job)
+		sc.finishStream(req)
+		return true
+	}
+	sc.sem <- struct{}{} // backpressure: bounded in-flight per connection
+	go func() {
+		defer func() {
+			<-sc.sem
+			sc.srv.endStream()
+		}()
+		st.entry.pool.Load().RunJob(&job) // error is job.Err; System returns to the pool either way
+		sc.respond(req, idx, &job)
+		sc.finishStream(req)
+	}()
+	return true
+}
+
+// respond writes the stream's result/fault/error frame.
+func (sc *srvConn) respond(req, idx uint32, job *netlist.Job) {
+	sc.srv.served.Add(1)
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	e := &sc.enc
+	switch {
+	case job.Err == nil:
+		e.begin(frameResult, req)
+		e.u32(idx)
+		e.u64(uint64(job.Cycles))
+		e.u16(uint16(len(job.Outputs)))
+		for name, vals := range job.Outputs {
+			e.str8(name)
+			e.vals(vals)
+		}
+		e.u16(uint16(len(job.Feedbacks)))
+		for name, v := range job.Feedbacks {
+			e.str8(name)
+			e.i64(v)
+		}
+	default:
+		var fe *dp.FaultError
+		if errors.As(job.Err, &fe) {
+			sc.srv.faults.Add(1)
+			e.begin(frameFault, req)
+			e.u32(idx)
+			e.u32(uint32(fe.Cycle))
+			e.str8(fe.Op)
+			e.str16(fe.Msg)
+		} else {
+			e.begin(frameError, req)
+			e.u32(idx)
+			e.str16(job.Err.Error())
+		}
+	}
+	sc.c.Write(e.finish())
+}
+
+// finishStream decrements the request's owed-response count and emits
+// 'D' after the last one.
+func (sc *srvConn) finishStream(req uint32) {
+	sc.mu.Lock()
+	st := sc.reqs[req]
+	done := false
+	if st != nil {
+		st.remaining--
+		if st.remaining == 0 {
+			delete(sc.reqs, req)
+			done = true
+		}
+	}
+	sc.mu.Unlock()
+	if done {
+		sc.writeDone(req)
+	}
+}
+
+func (sc *srvConn) writeDone(req uint32) {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.enc.begin(frameDone, req)
+	sc.c.Write(sc.enc.finish())
+}
+
+func (sc *srvConn) writeError(req, stream uint32, msg string) {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.enc.begin(frameError, req)
+	sc.enc.u32(stream)
+	sc.enc.str16(msg)
+	sc.c.Write(sc.enc.finish())
+	// A request-level error aborts the request: owed streams are dropped.
+	if stream == streamNone {
+		sc.mu.Lock()
+		delete(sc.reqs, req)
+		sc.mu.Unlock()
+	}
+}
+
+// WaitIdle blocks until no stream is in flight or the timeout elapses;
+// tests use it to assert pool balance after a client disconnect.
+func (s *Server) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for s.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roccc/internal/core"
+	"roccc/internal/dp"
+	"roccc/internal/netlist"
+)
+
+// soakRef is one precomputed request/response pair: inputs plus the
+// serial System.Run ground truth (outputs, feedbacks, cycle count, or
+// the exact fault).
+type soakRef struct {
+	kernel    string
+	inputs    map[string][]int64
+	outputs   map[string][]int64
+	feedbacks map[string]int64
+	cycles    int
+	fault     *dp.FaultError
+}
+
+// buildSoakRefs compiles each spec once and runs every seed serially —
+// the bit-exact baseline the soak clients check against.
+func buildSoakRefs(t *testing.T, specs []KernelSpec, seeds int) []soakRef {
+	t.Helper()
+	var refs []soakRef
+	for _, spec := range specs {
+		res, err := core.CompileSource(spec.Source, spec.Func, spec.Options)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		sys, err := netlist.NewSystem(res.Kernel, res.Datapath, spec.Config)
+		if err != nil {
+			t.Logf("soak: skipping %s (not streamable: %v)", spec.Name, err)
+			continue
+		}
+		for seed := 0; seed < seeds; seed++ {
+			rng := rand.New(rand.NewSource(int64(seed)*7919 + 1))
+			ref := soakRef{kernel: spec.Name, inputs: map[string][]int64{}}
+			for _, w := range res.Kernel.Reads {
+				vals := make([]int64, w.Arr.Len())
+				for i := range vals {
+					vals[i] = rng.Int63n(255) - 128
+				}
+				if spec.Name == "soak_divide" {
+					// Keep divisors nonzero on even seeds; odd seeds plant
+					// one zero on a valid iteration — a guaranteed fault.
+					if w.Arr.Name == "B" {
+						for i := range vals {
+							vals[i] = rng.Int63n(97) + 1
+						}
+						if seed%2 == 1 {
+							vals[rng.Intn(len(vals))] = 0
+						}
+					}
+				}
+				ref.inputs[w.Arr.Name] = vals
+			}
+			sys.Reset()
+			for name, vals := range ref.inputs {
+				if err := sys.LoadInput(name, vals); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sim, err := sys.Run()
+			if err != nil {
+				var fe *dp.FaultError
+				if !errors.As(err, &fe) {
+					t.Fatalf("%s seed %d: unexpected serial error: %v", spec.Name, seed, err)
+				}
+				ref.fault = fe
+				refs = append(refs, ref)
+				continue
+			}
+			ref.cycles = sys.Cycles()
+			ref.outputs = map[string][]int64{}
+			for _, w := range res.Kernel.Writes {
+				out, err := sys.Output(w.Arr.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.outputs[w.Arr.Name] = out
+			}
+			if len(res.Datapath.Feedbacks) > 0 {
+				ref.feedbacks = map[string]int64{}
+				for _, fb := range res.Datapath.Feedbacks {
+					if v, ok := sim.FeedbackByName(fb.State.Name); ok {
+						ref.feedbacks[fb.State.Name] = v
+					}
+				}
+			}
+			refs = append(refs, ref)
+		}
+	}
+	return refs
+}
+
+// checkSoak compares one served stream against its reference.
+func checkSoak(job *netlist.Job, ref *soakRef) error {
+	if ref.fault != nil {
+		var fe *dp.FaultError
+		if !errors.As(job.Err, &fe) {
+			return fmt.Errorf("%s: served %v, want fault %v", ref.kernel, job.Err, ref.fault)
+		}
+		if fe.Cycle != ref.fault.Cycle || fe.Msg != ref.fault.Msg {
+			return fmt.Errorf("%s: served fault %+v, serial fault %+v", ref.kernel, fe, ref.fault)
+		}
+		return nil
+	}
+	if job.Err != nil {
+		return fmt.Errorf("%s: served error %v, serial ran clean", ref.kernel, job.Err)
+	}
+	if job.Cycles != ref.cycles {
+		return fmt.Errorf("%s: served %d cycles, serial %d", ref.kernel, job.Cycles, ref.cycles)
+	}
+	for name, want := range ref.outputs {
+		got := job.Outputs[name]
+		if len(got) != len(want) {
+			return fmt.Errorf("%s: %s has %d elements served, %d serial", ref.kernel, name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("%s: %s[%d] = %d served, %d serial", ref.kernel, name, i, got[i], want[i])
+			}
+		}
+	}
+	for name, want := range ref.feedbacks {
+		if got := job.Feedbacks[name]; got != want {
+			return fmt.Errorf("%s: feedback %s = %d served, %d serial", ref.kernel, name, got, want)
+		}
+	}
+	return nil
+}
+
+// TestServeSoak hammers a live server with concurrent TCP clients
+// streaming the Table 1 kernels (and a guaranteed-fault divider) for a
+// wall-clock budget, asserting zero dropped and zero mismatched
+// responses. The budget defaults to a quick smoke locally; CI sets
+// ROCCC_SOAK (e.g. "15s") and runs it under -race.
+func TestServeSoak(t *testing.T) {
+	budget := 1500 * time.Millisecond
+	if testing.Short() {
+		budget = 300 * time.Millisecond
+	}
+	if env := os.Getenv("ROCCC_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("ROCCC_SOAK=%q: %v", env, err)
+		}
+		budget = d
+	}
+
+	specs := Table1Specs()
+	specs = append(specs, KernelSpec{
+		Name: "soak_divide", Source: dividerSource, Func: "divide",
+		Options: core.DefaultOptions(), Config: netlist.Config{BusElems: 1},
+	})
+	refs := buildSoakRefs(t, specs, 4)
+	if len(refs) < 8 {
+		t.Fatalf("only %d soak references built", len(refs))
+	}
+
+	srv := NewServer(0)
+	for _, spec := range specs {
+		if err := srv.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	clients := min(8, max(2, runtime.GOMAXPROCS(0)))
+	deadline := time.Now().Add(budget)
+	var requested, answered atomic.Int64
+	var next atomic.Int64
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := Dial(ln.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			// Per-client reusable batch: the same Job slots host every
+			// request, exercising response-buffer reuse under load.
+			const batch = 3
+			jobs := make([]netlist.Job, batch)
+			picked := make([]*soakRef, batch)
+			for time.Now().Before(deadline) {
+				sameKernel := refs[int(next.Add(1))%len(refs)].kernel
+				n := 0
+				for _, r := range pickRefs(refs, sameKernel) {
+					if n == batch {
+						break
+					}
+					picked[n] = r
+					jobs[n] = netlist.Job{Inputs: r.inputs,
+						Outputs: jobs[n].Outputs, Feedbacks: jobs[n].Feedbacks}
+					n++
+				}
+				requested.Add(int64(n))
+				err := conn.Run(sameKernel, jobs[:n])
+				if err != nil && !isExpectedFaultBatch(picked[:n]) {
+					errCh <- fmt.Errorf("%s: %v", sameKernel, err)
+					return
+				}
+				for i := 0; i < n; i++ {
+					if err := checkSoak(&jobs[i], picked[i]); err != nil {
+						errCh <- err
+						return
+					}
+					answered.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if requested.Load() != answered.Load() {
+		t.Fatalf("dropped responses: %d requested, %d answered", requested.Load(), answered.Load())
+	}
+	if answered.Load() == 0 {
+		t.Fatal("soak answered zero streams")
+	}
+	streams, faults := srv.Served()
+	t.Logf("soak: %d clients, %d streams served (%d faults) in %s", clients, streams, faults, budget)
+}
+
+// pickRefs returns every reference for one kernel (a request carries
+// streams for a single kernel).
+func pickRefs(refs []soakRef, kernel string) []*soakRef {
+	var out []*soakRef
+	for i := range refs {
+		if refs[i].kernel == kernel {
+			out = append(out, &refs[i])
+		}
+	}
+	return out
+}
+
+// isExpectedFaultBatch reports whether any picked reference faults (then
+// Run's non-nil error is the contract, not a soak failure).
+func isExpectedFaultBatch(picked []*soakRef) bool {
+	for _, r := range picked {
+		if r != nil && r.fault != nil {
+			return true
+		}
+	}
+	return false
+}
