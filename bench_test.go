@@ -80,6 +80,14 @@ func BenchmarkFig2ExecutionModel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Warm-up grows the simulator's batch lane scratch once, so the
+	// timed loop measures the zero-alloc steady state the gate holds.
+	if err := sys.LoadInput("A", in); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
 	var cycles int
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -94,6 +102,64 @@ func BenchmarkFig2ExecutionModel(b *testing.B) {
 		cycles = sys.Cycles()
 	}
 	b.ReportMetric(float64(cycles)/17.0, "cycles/output")
+}
+
+// BenchmarkSysRun compares the serial per-cycle System.Run dispatch
+// against the streak-batched default on identical systems — the
+// regression meter for the system cycle-loop batching. fig3 is the
+// Fig. 2 benchmark workload (17 iterations: fill/drain-edge heavy);
+// fir4k is the 4096-iteration steady state. CI gates the streak
+// variants at 0 allocs/op and at CPU-conditioned speedup floors over
+// their serial baselines (ci/gates.json, sysbatch group); the committed
+// ci/baseline/BENCH_seed.json holds the pre-batching numbers the
+// trajectory is measured against.
+func BenchmarkSysRun(b *testing.B) {
+	for _, tc := range []struct {
+		name, src string
+		iters     int
+	}{
+		{"fig3", exp.Fig3Source, 17},
+		{"fir4k", exp.LongFIRSource, 4096},
+	} {
+		res, err := Compile(tc.src, "fir", DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		in := make([]int64, tc.iters+4)
+		for i := range in {
+			in[i] = rng.Int63n(255) - 128
+		}
+		for _, serial := range []bool{true, false} {
+			mode := "streak"
+			if serial {
+				mode = "serial"
+			}
+			b.Run(tc.name+"-"+mode, func(b *testing.B) {
+				sys, err := netlist.NewSystem(res.Kernel, res.Datapath,
+					netlist.Config{BusElems: 1, Serial: serial})
+				if err != nil {
+					b.Fatal(err)
+				}
+				run := func() {
+					sys.Reset()
+					if err := sys.LoadInput("A", in); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sys.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				run() // warm-up: grows the batch lane scratch once
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					run()
+				}
+				b.ReportMetric(float64(sys.BatchedCycles())/float64(sys.Cycles())*100, "batched-%")
+			})
+		}
+	}
 }
 
 // BenchmarkFig3ScalarReplacement measures the front end through scalar

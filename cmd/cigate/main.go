@@ -8,7 +8,13 @@
 //
 // Usage:
 //
-//	cigate [-gates ci/gates.json] [-json out.json] [-cpus N] [-v]
+//	cigate [-gates ci/gates.json] [-json out.json] [-baseline ci/baseline/BENCH_seed.json] [-cpus N] [-v]
+//
+// -baseline diffs the fresh results against a committed trajectory file
+// (ns/op and allocs/op per benchmark), so every CI run shows where the
+// numbers stand relative to the checked-in baseline — informational,
+// never gating: absolute ns/op is runner-dependent, which is exactly
+// why the gates themselves are ratios and alloc counts.
 //
 // Exit status is nonzero if any gate fails or any gated benchmark is
 // missing from the output.
@@ -104,6 +110,7 @@ func main() {
 	var (
 		gatesPath = flag.String("gates", "ci/gates.json", "gate configuration file")
 		jsonOut   = flag.String("json", "", "write a BENCH trajectory JSON to this path ('auto' derives BENCH_<sha>.json)")
+		baseline  = flag.String("baseline", "", "committed BENCH_*.json trajectory to diff the fresh results against (informational)")
 		cpus      = flag.Int("cpus", runtime.NumCPU(), "CPU count used to select speedup rules")
 		verbose   = flag.Bool("v", false, "echo raw benchmark output")
 	)
@@ -139,6 +146,16 @@ func main() {
 
 	verdicts := evaluate(gf, results, *cpus)
 	fmt.Print(formatVerdicts(verdicts, *cpus))
+
+	if *baseline != "" {
+		// The diff is informational, never gating — a missing or stale
+		// baseline file must not fail a run whose gates all passed.
+		if base, err := loadTrajectory(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "cigate: baseline diff skipped: %v\n", err)
+		} else {
+			fmt.Print(formatBaselineDiff(base, ordered))
+		}
+	}
 
 	failed := false
 	for _, v := range verdicts {
@@ -310,6 +327,67 @@ func trimFloat(f float64) string {
 	s := strconv.FormatFloat(f, 'f', 3, 64)
 	s = strings.TrimRight(s, "0")
 	return strings.TrimRight(s, ".")
+}
+
+// loadTrajectory reads a committed BENCH_*.json file.
+func loadTrajectory(path string) (*Trajectory, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// formatBaselineDiff renders the perf trajectory: fresh results against
+// a committed baseline, benchmark by benchmark. The ratio column is
+// baseline ns/op over fresh ns/op (>1 means faster now); alloc deltas
+// surface regressions the ns columns can hide. Benchmarks on one side
+// only are listed so renames and new meters stay visible in review.
+func formatBaselineDiff(base *Trajectory, fresh []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cigate: trajectory vs baseline %s (%s, %d CPUs)\n",
+		base.SHA, base.Date.Format("2006-01-02"), base.CPUs)
+	fmt.Fprintf(&b, "%-50s %12s %12s %8s %9s\n",
+		"benchmark", "base ns/op", "now ns/op", "ratio", "allocs")
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		seen[r.Name] = true
+		br, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(&b, "%-50s %12s %12s %8s %9s\n",
+				r.Name, "-", trimFloat(r.NsOp), "new", trimFloat(r.Metrics["allocs/op"]))
+			continue
+		}
+		ratio := "-"
+		if r.NsOp > 0 && br.NsOp > 0 {
+			ratio = trimFloat(br.NsOp/r.NsOp) + "x"
+		}
+		fmt.Fprintf(&b, "%-50s %12s %12s %8s %9s\n",
+			r.Name, trimFloat(br.NsOp), trimFloat(r.NsOp), ratio,
+			allocDelta(br.Metrics["allocs/op"], r.Metrics["allocs/op"]))
+	}
+	for _, r := range base.Results {
+		if !seen[r.Name] {
+			fmt.Fprintf(&b, "%-50s %12s %12s %8s %9s\n", r.Name, trimFloat(r.NsOp), "-", "gone", "")
+		}
+	}
+	return b.String()
+}
+
+// allocDelta renders an allocs/op transition compactly ("0", "3→0").
+func allocDelta(base, now float64) string {
+	if base == now {
+		return trimFloat(now)
+	}
+	return trimFloat(base) + "→" + trimFloat(now)
 }
 
 // headSHA resolves the commit being gated: GITHUB_SHA in CI, git

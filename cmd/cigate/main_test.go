@@ -1,9 +1,14 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
 
 const sampleOutput = `
 goos: linux
@@ -115,6 +120,55 @@ func TestEvaluateGates(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestFormatBaselineDiff(t *testing.T) {
+	base := &Trajectory{
+		SHA:  "seed00000000",
+		CPUs: 8,
+		Results: []Result{
+			{Name: "BenchmarkFig2ExecutionModel", NsOp: 4400, Metrics: map[string]float64{"allocs/op": 0}},
+			{Name: "BenchmarkOld", NsOp: 100, Metrics: map[string]float64{}},
+			{Name: "BenchmarkLeaky", NsOp: 50, Metrics: map[string]float64{"allocs/op": 3}},
+		},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkFig2ExecutionModel", NsOp: 2200, Metrics: map[string]float64{"allocs/op": 0}},
+		{Name: "BenchmarkLeaky", NsOp: 50, Metrics: map[string]float64{"allocs/op": 0}},
+		{Name: "BenchmarkSysRun/fir4k-streak", NsOp: 275000, Metrics: map[string]float64{"allocs/op": 0}},
+	}
+	out := formatBaselineDiff(base, fresh)
+	for _, want := range []string{
+		"seed00000000",
+		"2x",   // 4400/2200: the headline speedup is visible in review
+		"new",  // fresh benchmark absent from the baseline
+		"gone", // baseline benchmark that disappeared
+		"3→0",  // alloc transition
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("baseline diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_test.json"
+	blob := `{"sha":"abc","date":"2026-07-26T00:00:00Z","go":"go1.24","cpus":2,
+		"results":[{"name":"BenchmarkX","iters":10,"ns_op":123.5,"metrics":{"allocs/op":1}}]}`
+	if err := writeFile(path, blob); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SHA != "abc" || len(tr.Results) != 1 || tr.Results[0].NsOp != 123.5 {
+		t.Fatalf("trajectory = %+v", tr)
+	}
+	if _, err := loadTrajectory(dir + "/missing.json"); err == nil {
+		t.Fatal("missing baseline must error")
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rocccbench [-figures] [-estimation] [-throughput] [-sweep] [-serve] [-all]
+//	rocccbench [-figures] [-estimation] [-throughput] [-sweep] [-sysbatch] [-serve] [-all]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 		estimation = flag.Bool("estimation", false, "print the area-estimation experiment")
 		throughput = flag.Bool("throughput", false, "print the DCT throughput experiment")
 		sweep      = flag.Bool("sweep", false, "print the batch sweep (serial vs sharded SystemPool)")
+		sysbatch   = flag.Bool("sysbatch", false, "print the system cycle-loop batching sweep (serial vs streak-batched System.Run)")
 		servesweep = flag.Bool("serve", false, "print the serve sweep (rocccserve TCP vs serial System.Run)")
 		jobs       = flag.Int("jobs", 64, "independent input streams per sweep")
 		workers    = flag.Int("workers", 0, "sweep shard width (0 = GOMAXPROCS)")
@@ -61,6 +62,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(exp.FormatSweeps([]*exp.SweepResult{fir, dct}))
+	}
+	if *sysbatch || *all {
+		rows, err := exp.SysBatchSweep(*jobs / 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatSysBatch(rows))
 	}
 	if *servesweep || *all {
 		rows, err := exp.ServeSweep(*jobs)

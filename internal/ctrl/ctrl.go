@@ -51,6 +51,23 @@ func (g *ReadGen) NextInto(dst []int) []int {
 	return dst
 }
 
+// NextRange is NextInto for consecutive streaming: it returns the start
+// address and length of the next bus word (length 0 once exhausted), so
+// the memory stage can fetch a BRAM range with one bounds check instead
+// of an address-array round trip.
+func (g *ReadGen) NextRange() (start, n int) {
+	if g.pos >= g.Total {
+		return 0, 0
+	}
+	start = g.pos
+	n = g.BusElems
+	if start+n > g.Total {
+		n = g.Total - start
+	}
+	g.pos += n
+	return start, n
+}
+
 // Done reports whether all addresses have been issued.
 func (g *ReadGen) Done() bool { return g.pos >= g.Total }
 
@@ -66,10 +83,19 @@ type WriteGen struct {
 	// levels[d] is the nest level of write dimension d, resolved once at
 	// construction instead of by scanning nest.Vars on every address.
 	levels []int
+	// from/step/trips are the nest bounds copied dense at construction,
+	// so the per-iteration address loop reads slices instead of calling
+	// back into the loop-nest accessors.
+	from, step, trips []int64
 	// iteration counters per nest level (outermost first).
 	iter []int64
 	done bool
 	dims []int
+	// Compiled fast path for depth-1 single-dimension accesses (the
+	// common streaming shape): addr(ei) = fastBase[ei] + iter*fastDelta.
+	fast      bool
+	fastDelta int64
+	fastBase  []int64
 }
 
 // NewWriteGen builds a write address generator from the front end's
@@ -90,13 +116,26 @@ func NewWriteGen(acc *hir.WriteAccess, nest *hir.LoopNest) (*WriteGen, error) {
 			return nil, fmt.Errorf("ctrl: write index of %s uses non-nest variable %s", acc.Arr.Name, dim.Var.Name)
 		}
 	}
-	return &WriteGen{
+	g := &WriteGen{
 		acc:    acc,
 		nest:   nest,
 		levels: levels,
 		iter:   make([]int64, nest.Depth()),
 		dims:   acc.Arr.Dims,
-	}, nil
+	}
+	for l := 0; l < nest.Depth(); l++ {
+		g.from = append(g.from, nest.From[l])
+		g.step = append(g.step, nest.Step[l])
+		g.trips = append(g.trips, nest.Trips(l))
+	}
+	if nest.Depth() == 1 && len(acc.Dims) == 1 {
+		g.fast = true
+		g.fastDelta = g.step[0] * acc.Dims[0].Scale
+		for _, elem := range acc.Elems {
+			g.fastBase = append(g.fastBase, g.from[0]*acc.Dims[0].Scale+elem.Offsets[0])
+		}
+	}
+	return g, nil
 }
 
 // Next returns the flattened addresses for the current iteration, one
@@ -113,12 +152,23 @@ func (g *WriteGen) NextInto(dst []int) []int {
 	if g.done {
 		return nil
 	}
+	if g.fast {
+		addrs := dst[:len(g.fastBase)]
+		it := g.iter[0]
+		for ei, base := range g.fastBase {
+			addrs[ei] = int(base + it*g.fastDelta)
+		}
+		if g.iter[0] = it + 1; g.iter[0] >= g.trips[0] {
+			g.done = true
+		}
+		return addrs
+	}
 	addrs := dst[:len(g.acc.Elems)]
 	for ei, elem := range g.acc.Elems {
 		flat := 0
 		for d, dim := range g.acc.Dims {
 			level := g.levels[d]
-			iv := g.nest.From[level] + g.iter[level]*g.nest.Step[level]
+			iv := g.from[level] + g.iter[level]*g.step[level]
 			coord := int(iv*dim.Scale + elem.Offsets[d])
 			if d == 0 && len(g.acc.Dims) == 2 {
 				flat = coord * g.dims[1]
@@ -129,9 +179,9 @@ func (g *WriteGen) NextInto(dst []int) []int {
 		addrs[ei] = flat
 	}
 	// Advance odometer, innermost fastest.
-	for l := g.nest.Depth() - 1; l >= 0; l-- {
+	for l := len(g.iter) - 1; l >= 0; l-- {
 		g.iter[l]++
-		if g.iter[l] < g.nest.Trips(l) {
+		if g.iter[l] < g.trips[l] {
 			return addrs
 		}
 		g.iter[l] = 0
@@ -227,6 +277,30 @@ func (c *Controller) Tick(windowReady bool) (feed bool) {
 	case Drain, DoneSt:
 	}
 	return feed
+}
+
+// TickFeedN admits n consecutive guaranteed feed cycles in one
+// transition — exactly n Tick(true) calls that all feed, for callers
+// that have proven the whole streak (netlist's streak-batched Run). It
+// returns false (admitting nothing) if n is not positive or the FSM
+// could not feed n more iterations.
+func (c *Controller) TickFeedN(n int) bool {
+	if n <= 0 {
+		return false
+	}
+	switch c.state {
+	case Idle, Fill, Stream:
+		if c.fed+n > c.TotalIters {
+			return false
+		}
+		c.fed += n
+		c.state = Stream
+		if c.fed >= c.TotalIters {
+			c.state = Drain
+		}
+		return true
+	}
+	return false
 }
 
 // Collect records one completed iteration; when all iterations have

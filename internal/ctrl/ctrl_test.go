@@ -291,3 +291,125 @@ func TestGeneratorResetAndNextInto(t *testing.T) {
 		t.Fatal("controller Reset did not return to idle")
 	}
 }
+
+// TestTickFeedN pins the bulk admit against the per-cycle FSM: n
+// guaranteed feed Ticks and one TickFeedN(n) must agree on fed count
+// and state from every reachable starting point, and the bulk form
+// must refuse (admitting nothing) what the serial form would refuse.
+func TestTickFeedN(t *testing.T) {
+	for _, pre := range []int{0, 1, 5} {
+		for _, n := range []int{1, 3, 5} {
+			a := NewController(8, 2)
+			b := NewController(8, 2)
+			for i := 0; i < pre; i++ {
+				a.Tick(true)
+				b.Tick(true)
+			}
+			want := pre+n <= 8
+			if got := b.TickFeedN(n); got != want {
+				t.Fatalf("pre=%d n=%d: TickFeedN = %v, want %v", pre, n, got, want)
+			}
+			if !want {
+				if b.Fed() != pre {
+					t.Fatalf("refused TickFeedN still admitted: fed %d", b.Fed())
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if !a.Tick(true) {
+					t.Fatalf("pre=%d n=%d: serial Tick %d refused", pre, n, i)
+				}
+			}
+			if a.Fed() != b.Fed() || a.StateNow() != b.StateNow() {
+				t.Fatalf("pre=%d n=%d: serial fed=%d state=%s, bulk fed=%d state=%s",
+					pre, n, a.Fed(), a.StateNow(), b.Fed(), b.StateNow())
+			}
+		}
+	}
+	// Draining controllers admit nothing.
+	c := NewController(2, 1)
+	c.Tick(true)
+	c.Tick(true)
+	if c.StateNow() != Drain {
+		t.Fatal("controller not draining")
+	}
+	if c.TickFeedN(1) {
+		t.Error("TickFeedN admitted a feed while draining")
+	}
+	if c.TickFeedN(0) {
+		// Zero-length streaks are vacuously fine but nothing to admit.
+		t.Error("TickFeedN(0) reported an admit")
+	}
+}
+
+// TestReadGenNextRange pins the ranged form against NextInto: the same
+// consecutive addresses, the same exhaustion point.
+func TestReadGenNextRange(t *testing.T) {
+	a := NewReadGen(10, 4)
+	b := NewReadGen(10, 4)
+	buf := make([]int, 4)
+	for {
+		addrs := a.NextInto(buf)
+		start, n := b.NextRange()
+		if (addrs == nil) != (n == 0) {
+			t.Fatalf("exhaustion mismatch: addrs=%v n=%d", addrs, n)
+		}
+		if addrs == nil {
+			break
+		}
+		if len(addrs) != n || addrs[0] != start {
+			t.Fatalf("NextInto %v vs NextRange (%d,%d)", addrs, start, n)
+		}
+	}
+	if !b.Done() {
+		t.Error("ranged generator not done")
+	}
+}
+
+// TestWriteGenFastPathParity drives the compiled depth-1 fast path and
+// a shadow generator forced through the generic loop over the same
+// access pattern; every address batch must match.
+func TestWriteGenFastPathParity(t *testing.T) {
+	i := &hir.Var{Name: "i", Kind: hir.VarLoop}
+	arr := &hir.Array{Name: "C", Dims: []int{40}}
+	acc := &hir.WriteAccess{
+		Arr:  arr,
+		Dims: []hir.WindowDim{{Var: i, Scale: 2}},
+		Elems: []hir.WindowElem{
+			{Offsets: []int64{0}, Elem: &hir.Var{Name: "t0"}},
+			{Offsets: []int64{1}, Elem: &hir.Var{Name: "t1"}},
+		},
+	}
+	nest := nest1D(i, 1, 37, 2)
+	fast, err := NewWriteGen(acc, nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.fast {
+		t.Fatal("depth-1 single-dim access did not compile the fast path")
+	}
+	slow, err := NewWriteGen(acc, nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.fast = false
+	fb, sb := make([]int, 2), make([]int, 2)
+	for step := 0; ; step++ {
+		fa := fast.NextInto(fb)
+		sa := slow.NextInto(sb)
+		if (fa == nil) != (sa == nil) {
+			t.Fatalf("step %d: exhaustion mismatch", step)
+		}
+		if fa == nil {
+			break
+		}
+		for ei := range fa {
+			if fa[ei] != sa[ei] {
+				t.Fatalf("step %d elem %d: fast %d, generic %d", step, ei, fa[ei], sa[ei])
+			}
+		}
+	}
+	if fast.Done() != slow.Done() {
+		t.Error("done mismatch")
+	}
+}

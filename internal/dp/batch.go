@@ -215,31 +215,53 @@ func (s *Sim) batchCompute(in []int64, n int, valid bool, lanes []int64, lv []bo
 		lv[k] = valid
 	}
 
-	// Seed every op's in-flight prefix from the ring: the value op
+	// Seed each op's in-flight prefix from the ring: the value op
 	// computed for iteration it0+k was written at cycle it0+k+stage,
-	// which the ring still holds (rdepth > stages).
-	for idx := 0; idx < p.nOps; idx++ {
-		st := int(p.opStage[idx])
-		base := idx << p.opShift
-		lbase := idx * laneN
-		for k := 0; k < stages-st; k++ {
+	// which the ring still holds (rdepth > stages). Only the prefix tail
+	// anything can read is seeded — a consumer at stage delta d reads
+	// lanes [stages-st-d, stages-st) of the def's region, so lanes below
+	// stages-st-ringNeed are never touched (the seeds worklist skips
+	// whole regions nobody reads).
+	for i := range p.seeds {
+		e := &p.seeds[i]
+		st := int(e.st)
+		pre := stages - st
+		k0 := pre - int(e.need)
+		if k0 < 0 {
+			k0 = 0
+		}
+		base := int(e.idx) << p.opShift
+		lbase := int(e.idx) * laneN
+		for k := k0; k < pre; k++ {
 			lanes[lbase+k] = ring[base+((h0+stages-1-st-k)&rmask)]
 		}
 	}
 
 	// Batch rows of the input pseudo-ops (bubble batches feed zeros).
+	// The wrap branch is hoisted out of the row loop: most ports narrow
+	// (one shift pair per value), 64-bit ports copy straight through.
 	inW := len(p.inSlots)
 	for i := range p.inSlots {
 		sl := &p.inSlots[i]
 		idx := int(sl.base) >> p.opShift
 		lbase := idx*laneN + stages - int(p.opStage[idx])
-		if valid {
-			for r := 0; r < n; r++ {
-				lanes[lbase+r] = sl.w.wrap(in[r*inW+i])
+		dst := lanes[lbase : lbase+n]
+		if !valid {
+			clear(dst)
+			continue
+		}
+		switch sh := sl.w.sh; {
+		case sh == 0:
+			for r := range dst {
+				dst[r] = in[r*inW+i]
 			}
-		} else {
-			for r := 0; r < n; r++ {
-				lanes[lbase+r] = 0
+		case sl.w.signed:
+			for r := range dst {
+				dst[r] = in[r*inW+i] << sh >> sh
+			}
+		default:
+			for r := range dst {
+				dst[r] = int64(uint64(in[r*inW+i]) << sh >> sh)
 			}
 		}
 	}
@@ -312,21 +334,71 @@ func (s *Sim) batchOps(ops []cop, n int, lanes []int64, lv []bool, laneN int) er
 		a := c.operand(&op.a)
 		b := c.operand(&op.b)
 		// Raw compute pass: the wrap pass below truncates the whole lane
-		// range at once with the op's precompiled wrap mode.
+		// range at once with the op's precompiled wrap mode. The dominant
+		// arithmetic ops get equal-length subslice loops (bounds checks
+		// hoisted, no per-lane nil branch) for the ring×ring and
+		// ring×immediate layouts; everything else takes the generic
+		// operand accessor.
 		switch op.opc {
 		case vm.LDC, vm.MOV, vm.CVT:
-			for k := k0; k < k1; k++ {
-				dst[k] = a.at(k)
+			if a.sl != nil {
+				copy(dst[k0:k1], a.sl[k0:k1])
+			} else {
+				for k := k0; k < k1; k++ {
+					dst[k] = a.imm
+				}
 			}
 		case vm.ADD:
+			if op.wmode != wrapBoth {
+				d := dst[k0:k1]
+				switch {
+				case a.sl != nil && b.sl != nil:
+					fusedAdd(d, a.sl[k0:k1], b.sl[k0:k1], op.fw)
+				case a.sl != nil:
+					fusedAddImm(d, a.sl[k0:k1], b.imm, op.fw)
+				case b.sl != nil:
+					fusedAddImm(d, b.sl[k0:k1], a.imm, op.fw)
+				default:
+					fusedFill(d, a.imm+b.imm, op.fw)
+				}
+				continue
+			}
 			for k := k0; k < k1; k++ {
 				dst[k] = a.at(k) + b.at(k)
 			}
 		case vm.SUB:
+			if op.wmode != wrapBoth {
+				d := dst[k0:k1]
+				switch {
+				case a.sl != nil && b.sl != nil:
+					fusedSub(d, a.sl[k0:k1], b.sl[k0:k1], op.fw)
+				case a.sl != nil:
+					fusedAddImm(d, a.sl[k0:k1], -b.imm, op.fw)
+				case b.sl != nil:
+					fusedSubFrom(d, a.imm, b.sl[k0:k1], op.fw)
+				default:
+					fusedFill(d, a.imm-b.imm, op.fw)
+				}
+				continue
+			}
 			for k := k0; k < k1; k++ {
 				dst[k] = a.at(k) - b.at(k)
 			}
 		case vm.MUL:
+			if op.wmode != wrapBoth {
+				d := dst[k0:k1]
+				switch {
+				case a.sl != nil && b.sl != nil:
+					fusedMul(d, a.sl[k0:k1], b.sl[k0:k1], op.fw)
+				case a.sl != nil:
+					fusedMulImm(d, a.sl[k0:k1], b.imm, op.fw)
+				case b.sl != nil:
+					fusedMulImm(d, b.sl[k0:k1], a.imm, op.fw)
+				default:
+					fusedFill(d, a.imm*b.imm, op.fw)
+				}
+				continue
+			}
 			for k := k0; k < k1; k++ {
 				dst[k] = a.at(k) * b.at(k)
 			}
@@ -433,6 +505,123 @@ func (s *Sim) batchOps(ops []cop, n int, lanes []int64, lv []bool, laneN int) er
 		wrapLanes(dst[k0:k1], op)
 	}
 	return nil
+}
+
+// The fused lane helpers compute the dominant arithmetic ops with the
+// op's single wrap applied in the same pass — one traversal instead of
+// a raw pass plus wrapLanes — for the ring×ring and ring×immediate
+// operand layouts. A zero-shift wrap spec (64-bit result, wrapNone) is
+// the raw loop. The loop bodies live in functions so each stays tight
+// and bounds-check-eliminated; the call overhead is per chunk, not per
+// lane.
+
+func fusedAdd(d, a, b []int64, w wrapSpec) {
+	switch {
+	case w.sh == 0:
+		for k := range d {
+			d[k] = a[k] + b[k]
+		}
+	case w.signed:
+		for k := range d {
+			d[k] = (a[k] + b[k]) << w.sh >> w.sh
+		}
+	default:
+		for k := range d {
+			d[k] = int64(uint64(a[k]+b[k]) << w.sh >> w.sh)
+		}
+	}
+}
+
+func fusedAddImm(d, a []int64, imm int64, w wrapSpec) {
+	switch {
+	case w.sh == 0:
+		for k := range d {
+			d[k] = a[k] + imm
+		}
+	case w.signed:
+		for k := range d {
+			d[k] = (a[k] + imm) << w.sh >> w.sh
+		}
+	default:
+		for k := range d {
+			d[k] = int64(uint64(a[k]+imm) << w.sh >> w.sh)
+		}
+	}
+}
+
+func fusedSub(d, a, b []int64, w wrapSpec) {
+	switch {
+	case w.sh == 0:
+		for k := range d {
+			d[k] = a[k] - b[k]
+		}
+	case w.signed:
+		for k := range d {
+			d[k] = (a[k] - b[k]) << w.sh >> w.sh
+		}
+	default:
+		for k := range d {
+			d[k] = int64(uint64(a[k]-b[k]) << w.sh >> w.sh)
+		}
+	}
+}
+
+func fusedSubFrom(d []int64, imm int64, b []int64, w wrapSpec) {
+	switch {
+	case w.sh == 0:
+		for k := range d {
+			d[k] = imm - b[k]
+		}
+	case w.signed:
+		for k := range d {
+			d[k] = (imm - b[k]) << w.sh >> w.sh
+		}
+	default:
+		for k := range d {
+			d[k] = int64(uint64(imm-b[k]) << w.sh >> w.sh)
+		}
+	}
+}
+
+func fusedMul(d, a, b []int64, w wrapSpec) {
+	switch {
+	case w.sh == 0:
+		for k := range d {
+			d[k] = a[k] * b[k]
+		}
+	case w.signed:
+		for k := range d {
+			d[k] = (a[k] * b[k]) << w.sh >> w.sh
+		}
+	default:
+		for k := range d {
+			d[k] = int64(uint64(a[k]*b[k]) << w.sh >> w.sh)
+		}
+	}
+}
+
+func fusedMulImm(d, a []int64, imm int64, w wrapSpec) {
+	switch {
+	case w.sh == 0:
+		for k := range d {
+			d[k] = a[k] * imm
+		}
+	case w.signed:
+		for k := range d {
+			d[k] = (a[k] * imm) << w.sh >> w.sh
+		}
+	default:
+		for k := range d {
+			d[k] = int64(uint64(a[k]*imm) << w.sh >> w.sh)
+		}
+	}
+}
+
+func fusedFill(d []int64, v int64, w wrapSpec) {
+	v = w.wrap(v)
+	for k := range d {
+		d[k] = v
+	}
 }
 
 // wrapLanes applies an op's precompiled wrap mode to its computed lane
@@ -597,33 +786,30 @@ func (s *Sim) commitChunk(n int, valid bool, lanes []int64, laneN int, out []int
 	rmask := s.rmask
 	ring := s.ring
 	hNew := (s.head - n) & rmask
-	first := 0
-	if n > p.rdepth {
-		first = n - p.rdepth
-	}
 	// Cycle cycle0+r lands at ring position (hNew + n-1-r) & rmask; the
-	// iteration an op serves at that cycle is lane stages-stage+r.
-	for i := range p.plan {
-		op := &p.plan[i]
-		if op.opc == vm.SNX {
-			continue // latch writers leave no ring value, as in step
+	// iteration an op serves at that cycle is lane stages-stage+r. Only
+	// the last ringNeed cycles of each region in the commit worklist are
+	// written — every future read (serial operand fetch, output
+	// alignment, the next chunk's seeding) stays within that depth of
+	// the head, so deeper slots can hold stale values without ever being
+	// observed.
+	for i := range p.commits {
+		e := &p.commits[i]
+		fi := n - int(e.need)
+		if fi < 0 {
+			fi = 0
 		}
-		base := int(op.slot)
-		lbase := (base>>p.opShift)*laneN + stages - int(op.stage)
-		for r := first; r < n; r++ {
+		base := int(e.idx) << p.opShift
+		lbase := int(e.idx)*laneN + stages - int(e.st)
+		for r := fi; r < n; r++ {
 			ring[base+((hNew+n-1-r)&rmask)] = lanes[lbase+r]
 		}
 	}
-	for i := range p.inSlots {
-		sl := &p.inSlots[i]
-		base := int(sl.base)
-		idx := base >> p.opShift
-		lbase := idx*laneN + stages - int(p.opStage[idx])
-		for r := first; r < n; r++ {
-			ring[base+((hNew+n-1-r)&rmask)] = lanes[lbase+r]
-		}
+	vfirst := 0
+	if n > p.rdepth {
+		vfirst = n - p.rdepth
 	}
-	for r := first; r < n; r++ {
+	for r := vfirst; r < n; r++ {
 		s.validRing[(cycle0+r)&rmask] = valid
 	}
 	if len(p.batchB) > 0 {

@@ -110,6 +110,25 @@ type simPlan struct {
 	batchA  []cop
 	batchB  []cop
 	batchC  []cop
+	// ringNeed[idx] is the deepest read-back (in cycles) anything ever
+	// performs on op idx's ring region: the max over consumer operand
+	// stage deltas and output-port alignment delays. The batch path
+	// seeds and commits only that much of each op's in-flight history —
+	// for shallow data paths this cuts the per-chunk fixed cost from
+	// nOps×(stages+rdepth) to roughly nOps×(2·ringNeed), which is what
+	// makes small chunks (short system streaks) profitable. seeds and
+	// commits are the compact worklists derived from it: only regions
+	// somebody actually reads appear, so chunk setup/teardown skips
+	// dead regions without a per-op branch.
+	ringNeed []int32
+	seeds    []ringEnt
+	commits  []ringEnt
+}
+
+// ringEnt is one op region in the batch path's seed or commit worklist:
+// the op index, its pipeline stage, and the read-back depth to move.
+type ringEnt struct {
+	idx, st, need int32
 }
 
 // cOperand is a pre-resolved instruction operand: either an immediate
@@ -312,6 +331,46 @@ func compileSimPlan(d *Datapath) *simPlan {
 	for i, op := range d.Ops {
 		p.opStage[i] = int32(op.Stage)
 	}
+	p.ringNeed = make([]int32, p.nOps)
+	bump := func(base, delta int32) {
+		if idx := int(base) >> p.opShift; delta > p.ringNeed[idx] {
+			p.ringNeed[idx] = delta
+		}
+	}
+	for i := range p.plan {
+		c := &p.plan[i]
+		for _, o := range [...]*cOperand{&c.a, &c.b, &c.c} {
+			if o.ring {
+				bump(o.base, o.off)
+			}
+		}
+	}
+	for i := range p.outSlots {
+		bump(p.outSlots[i].base, p.outSlots[i].delta)
+	}
+	// Compact worklists: an op region is seeded only if somebody reads
+	// its in-flight prefix (pre-chunk iterations still in the pipe), and
+	// committed only if somebody can read its history after the chunk.
+	// SNX ops never produce ring values; an op whose region nobody reads
+	// (ringNeed 0) leaves no trace either way — exactly as its stale
+	// ring slots are unobservable in the serial core.
+	snx := make([]bool, p.nOps)
+	for i := range p.plan {
+		if p.plan[i].opc == vm.SNX {
+			snx[int(p.plan[i].slot)>>p.opShift] = true
+		}
+	}
+	for idx := 0; idx < p.nOps; idx++ {
+		need := p.ringNeed[idx]
+		if need == 0 || snx[idx] {
+			continue
+		}
+		e := ringEnt{idx: int32(idx), st: p.opStage[idx], need: need}
+		if int(p.opStage[idx]) < p.stages {
+			p.seeds = append(p.seeds, e)
+		}
+		p.commits = append(p.commits, e)
+	}
 	p.partitionBatch()
 	return p
 }
@@ -409,6 +468,15 @@ func (s *Sim) Cycle() int { return s.cycle }
 // and reading its outputs: outputs fed at Step n are read from the
 // return value of Step n+Latency.
 func (s *Sim) Latency() int { return s.d.Latency() }
+
+// InWidth returns the number of input ports one Step consumes — the row
+// stride of a flat StepN input region.
+func (s *Sim) InWidth() int { return len(s.p.inSlots) }
+
+// OutWidth returns the number of output ports one Step produces — the
+// row stride of the flat row block StepN and DrainN return, so callers
+// can slice per-cycle output windows out of it without copying.
+func (s *Sim) OutWidth() int { return len(s.p.outSlots) }
 
 // FeedbackByName returns the current value of the feedback latch whose
 // state variable has the given name. The name→latch mapping is built

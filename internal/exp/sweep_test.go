@@ -76,3 +76,28 @@ func TestServeSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestSysBatchSweep runs the serial-vs-streak system sweep small: the
+// sweep fails on any bit divergence, so a passing run certifies the
+// streak-batched Run across the Table 1 matrix end to end.
+func TestSysBatchSweep(t *testing.T) {
+	rows, err := SysBatchSweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	for _, r := range rows {
+		if r.Skipped == "" {
+			streamed++
+			if r.BatchedPct <= 0 {
+				t.Errorf("%s: no cycles took the streak path", r.Kernel)
+			}
+		}
+	}
+	if streamed < 5 {
+		t.Fatalf("only %d kernels streamed", streamed)
+	}
+	if s := FormatSysBatch(rows); !strings.Contains(s, "speedup") {
+		t.Errorf("table missing header:\n%s", s)
+	}
+}

@@ -41,6 +41,17 @@ func (m *BRAM) Read(addr int) (int64, error) {
 	return m.Data[addr], nil
 }
 
+// ReadRange returns the n-element range starting at addr as a read-only
+// view — one bounds check per bus word instead of one per element — and
+// counts n reads. Callers must consume the view before the next Load.
+func (m *BRAM) ReadRange(addr, n int) ([]int64, error) {
+	if addr < 0 || addr+n > len(m.Data) {
+		return nil, fmt.Errorf("netlist: %s: read range [%d,%d) out of range [0,%d)", m.Name, addr, addr+n, len(m.Data))
+	}
+	m.reads += n
+	return m.Data[addr : addr+n], nil
+}
+
 // Write stores v at addr.
 func (m *BRAM) Write(addr int, v int64) error {
 	if addr < 0 || addr >= len(m.Data) {

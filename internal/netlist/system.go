@@ -52,18 +52,24 @@ type System struct {
 	// plan.scalarIn.
 	scalarVals []int64
 
-	// Preallocated cycle-loop buffers: the data-path input vector, one
-	// bus word of read addresses and data, per-read window buffers and
-	// per-write address buffers.
+	// Preallocated cycle-loop buffers: the data-path input vector and
+	// per-write address buffers (bus words stream as BRAM views).
 	inputs     []int64
-	readAddrs  []int
-	readWord   []int64
-	winBufs    [][]int64
 	writeAddrs [][]int
 
 	// iter is the dense loop-nest odometer (counters per level,
 	// outermost first); IV values derive from plan.from/step.
 	iter []int64
+
+	// serial forces the one-Step-per-cycle dispatch path; the default
+	// Run hands guaranteed-feed streaks to dp.Sim.StepN (sysbatch.go).
+	serial bool
+	// stage is the flat input staging region of one streak chunk (up to
+	// sysChunkMax rows of len(inputs) values each); fedPre snapshots the
+	// pre-chunk fed bits a chunk's harvest replay needs before the
+	// chunk's own fedRing writes can wrap over them.
+	stage  []int64
+	fedPre []bool
 
 	// fedRing mirrors the data-path valid pipeline for output
 	// harvesting: only the last Latency()+1 cycles are ever read, so a
@@ -72,7 +78,11 @@ type System struct {
 	fedRing []bool
 	fedMask int
 
-	cycles    int
+	cycles int
+	// batched counts the cycles Run dispatched through the streak path
+	// (StepN chunks plus the DrainN tail) — observability for tests and
+	// the sysbatch sweep table.
+	batched   int
 	started   bool
 	completed bool
 }
@@ -87,6 +97,10 @@ type sysPlan struct {
 	total    int   // loop nest iterations
 	latency  int
 	fedMask  int
+	// needClear reports whether any data-path input is covered by no
+	// window route, IV or scalar: only then must the input vector be
+	// zeroed before a feed cycle (otherwise every slot is overwritten).
+	needClear bool
 	// Dense loop nest: level l counts iter[l] in [0,trips[l]) and the IV
 	// value is from[l] + iter[l]*step[l].
 	from, step []int64
@@ -100,7 +114,10 @@ type readPlan struct {
 	arrName  string
 	arrLen   int
 	elemBits int
-	route    []int // window tap index -> dp input index (-1: unused)
+	// route maps window tap index -> dp input index (-1: unused), in the
+	// int32 form smartbuf.PopWindowRouted consumes, so the feed stage
+	// pops taps straight into the staged input row.
+	route []int32
 }
 
 // ivPlan routes one loop induction variable into a data-path input.
@@ -175,14 +192,14 @@ func compileSysPlan(k *hir.Kernel, d *dp.Datapath, bus int) (*sysPlan, error) {
 			arrName:  w.Arr.Name,
 			arrLen:   w.Arr.Len(),
 			elemBits: w.Arr.Elem.Bits,
-			route:    make([]int, len(w.Elems)),
+			route:    make([]int32, len(w.Elems)),
 		}
 		for ei, e := range w.Elems {
 			ix, ok := inputIndex[e.Elem]
 			if !ok {
 				ix = -1 // window tap unused by the data path (e.g. DCE'd)
 			}
-			rp.route[ei] = ix
+			rp.route[ei] = int32(ix)
 		}
 		p.reads = append(p.reads, rp)
 	}
@@ -230,6 +247,31 @@ func compileSysPlan(k *hir.Kernel, d *dp.Datapath, bus int) (*sysPlan, error) {
 	}
 	// Smallest power of two holding Latency()+1 entries.
 	p.fedMask = 1<<bits.Len(uint(p.latency)) - 1
+	// A feed cycle must clear the input vector only when some data-path
+	// input receives no routed value (e.g. a port whose producer was
+	// eliminated): with full coverage every slot is overwritten anyway.
+	covered := make([]bool, len(d.Inputs))
+	for _, rp := range p.reads {
+		for _, ix := range rp.route {
+			if ix >= 0 {
+				covered[ix] = true
+			}
+		}
+	}
+	for _, iv := range p.ivs {
+		covered[iv.in] = true
+	}
+	for _, ix := range p.scalarIn {
+		if ix >= 0 {
+			covered[ix] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			p.needClear = true
+			break
+		}
+	}
 	return p, nil
 }
 
@@ -239,6 +281,11 @@ type Config struct {
 	BusElems int
 	// Scalars provides values for kernel-level scalar parameters.
 	Scalars map[string]int64
+	// Serial forces the one-Step-per-cycle dispatch path instead of the
+	// streak-batched default — the differential baseline for tests and
+	// benchmarks. Both paths are bit-identical on outputs, feedback
+	// latches, cycle counts and fault abort cycles.
+	Serial bool
 }
 
 // NewSystem builds the full system for a compiled kernel.
@@ -254,19 +301,20 @@ func NewSystem(k *hir.Kernel, d *dp.Datapath, cfg Config) (*System, error) {
 		return nil, err
 	}
 	sys := &System{
-		Kernel:    k,
-		Datapath:  d,
-		BusElems:  cfg.BusElems,
-		plan:      plan,
-		sim:       dp.NewSim(d),
-		inBRAMs:   map[string]*BRAM{},
-		outBRAMs:  map[string]*BRAM{},
-		inputs:    make([]int64, len(d.Inputs)),
-		readAddrs: make([]int, cfg.BusElems),
-		readWord:  make([]int64, cfg.BusElems),
-		iter:      make([]int64, len(plan.from)),
-		fedRing:   make([]bool, plan.fedMask+1),
-		fedMask:   plan.fedMask,
+		Kernel:   k,
+		Datapath: d,
+		BusElems: cfg.BusElems,
+		plan:     plan,
+		sim:      dp.NewSim(d),
+		inBRAMs:  map[string]*BRAM{},
+		outBRAMs: map[string]*BRAM{},
+		inputs:   make([]int64, len(d.Inputs)),
+		iter:     make([]int64, len(plan.from)),
+		fedRing:  make([]bool, plan.fedMask+1),
+		fedMask:  plan.fedMask,
+		serial:   cfg.Serial,
+		stage:    make([]int64, min(plan.total, sysChunkMax)*len(d.Inputs)),
+		fedPre:   make([]bool, plan.latency),
 	}
 	for _, rp := range plan.reads {
 		buf, err := smartbuf.New(rp.cfg)
@@ -278,7 +326,6 @@ func NewSystem(k *hir.Kernel, d *dp.Datapath, cfg Config) (*System, error) {
 		sys.readGens = append(sys.readGens, ctrl.NewReadGen(rp.arrLen, cfg.BusElems))
 		sys.readBRAMs = append(sys.readBRAMs, bram)
 		sys.inBRAMs[rp.arrName] = bram
-		sys.winBufs = append(sys.winBufs, make([]int64, buf.Taps()))
 	}
 	for _, wp := range plan.writes {
 		gen, err := ctrl.NewWriteGen(wp.acc, &k.Nest)
@@ -349,6 +396,12 @@ func (s *System) OutputInto(name string, dst []int64) error {
 // Cycles returns the clock cycles consumed by Run.
 func (s *System) Cycles() int { return s.cycles }
 
+// BatchedCycles returns how many of Run's cycles were dispatched
+// through the streak-batched path (StepN chunks and the DrainN tail);
+// the rest took the serial per-cycle path. Zero on a Config.Serial
+// system.
+func (s *System) BatchedCycles() int { return s.batched }
+
 // FeedbackValue returns a feedback latch's final value (e.g. the
 // accumulator sum after the loop). The lookup uses the simulator's
 // precompiled name→latch index: O(1) and deterministic under name
@@ -385,9 +438,15 @@ func (s *System) Reset() {
 	clear(s.fedRing)
 	clear(s.iter)
 	s.cycles = 0
+	s.batched = 0
 	s.started = false
 	s.completed = false
 }
+
+// SetSerial toggles the one-Step-per-cycle dispatch path (see
+// Config.Serial) without rebuilding the System. It must not be flipped
+// mid-run.
+func (s *System) SetSerial(on bool) { s.serial = on }
 
 // Run executes the whole kernel: it streams every array element from
 // BRAM through the smart buffers exactly once, pushes one iteration per
@@ -398,6 +457,12 @@ func (s *System) Reset() {
 // not fault while flushing; a genuine fault on a valid iteration still
 // aborts the run. Run consumes the system's generators and buffers: call
 // Reset before running again.
+//
+// Run dispatches guaranteed-feed streaks — runs of cycles for which
+// every read port is provably WindowReady — through dp.Sim.StepN in one
+// call per streak (sysbatch.go); stall and fill cycles take the serial
+// per-cycle path below. Both paths are bit-identical on outputs,
+// feedback latches, cycle counts and fault abort cycles.
 func (s *System) Run() (*dp.Sim, error) {
 	if s.started {
 		return nil, fmt.Errorf("netlist: System.Run called again without Reset (address generators and smart buffers were consumed by the previous run)")
@@ -416,23 +481,38 @@ func (s *System) Run() (*dp.Sim, error) {
 		}
 		// 1. Memory stage: each read port fetches up to BusElems
 		// elements and pushes them into its smart buffer.
-		for i, buf := range s.buffers {
-			gen := s.readGens[i]
-			if gen.Done() || !buf.CanAccept() {
-				continue // backpressure: window data still live
-			}
-			addrs := gen.NextInto(s.readAddrs)
-			word := s.readWord[:len(addrs)]
-			bram := s.readBRAMs[i]
-			for j, a := range addrs {
-				v, err := bram.Read(a)
+		if err := s.memoryStage(); err != nil {
+			return nil, err
+		}
+		// Streak dispatch: when the predictor proves the next k cycles
+		// all feed, they run through one StepN call instead of k Step
+		// dispatches; a final streak also batches the drain tail, and a
+		// proven stall (fill, or a 2-D sweep waiting on its next row
+		// strip) batches its bubbles through DrainN. Both chunk sizes
+		// stay under the runaway limit so a pathological geometry still
+		// errors on the same cycle as the serial loop.
+		if !s.serial {
+			if k := min(s.feedStreak(), limit+1-s.cycles); k >= sysBatchMin {
+				var err error
+				harvested, err = s.runStreak(k, harvested)
 				if err != nil {
 					return nil, err
 				}
-				word[j] = v
+				if s.ctl.Fed() == total && harvested < total {
+					harvested, err = s.drainTail(harvested)
+					if err != nil {
+						return nil, err
+					}
+				}
+				continue
 			}
-			if err := buf.Push(word); err != nil {
-				return nil, err
+			if m := min(s.stallStreak(), limit+1-s.cycles); m >= sysBatchMin {
+				var err error
+				harvested, err = s.runStall(m, harvested)
+				if err != nil {
+					return nil, err
+				}
+				continue
 			}
 		}
 		// 2. Window readiness across every read port.
@@ -440,33 +520,19 @@ func (s *System) Run() (*dp.Sim, error) {
 		for _, buf := range s.buffers {
 			if !buf.WindowReady() {
 				ready = false
+				break
 			}
 		}
 		feed := s.ctl.Tick(ready)
 		var outs []int64
 		var err error
 		if feed {
-			clear(inputs)
-			for bi, buf := range s.buffers {
-				win := s.winBufs[bi]
-				if err := buf.PopWindowInto(win); err != nil {
-					return nil, err
-				}
-				for ei, ix := range p.reads[bi].route {
-					if ix >= 0 {
-						inputs[ix] = win[ei]
-					}
-				}
+			if p.needClear {
+				clear(inputs)
 			}
-			for _, iv := range p.ivs {
-				inputs[iv.in] = p.from[iv.level] + s.iter[iv.level]*p.step[iv.level]
+			if err := s.fillInputs(inputs); err != nil {
+				return nil, err
 			}
-			for si, ix := range p.scalarIn {
-				if ix >= 0 {
-					inputs[ix] = s.scalarVals[si]
-				}
-			}
-			s.advanceOdometer()
 			s.fedRing[s.cycles&s.fedMask] = true
 			outs, err = s.sim.Step(inputs)
 		} else {
@@ -480,26 +546,86 @@ func (s *System) Run() (*dp.Sim, error) {
 		// admitted lat cycles ago.
 		exit := s.cycles - lat
 		if exit >= 0 && s.fedRing[exit&s.fedMask] {
-			for wi := range s.writeGens {
-				addrs := s.writeGens[wi].NextInto(s.writeAddrs[wi])
-				if addrs == nil {
-					return nil, fmt.Errorf("netlist: write generator exhausted early")
-				}
-				outIdx := p.writes[wi].outIdx
-				bram := s.writeBRAMs[wi]
-				for ei, a := range addrs {
-					if err := bram.Write(a, outs[outIdx[ei]]); err != nil {
-						return nil, err
-					}
-				}
+			if err := s.harvest(outs); err != nil {
+				return nil, err
 			}
-			s.ctl.Collect()
 			harvested++
 		}
 		s.cycles++
 	}
 	s.completed = true
 	return s.sim, nil
+}
+
+// memoryStage runs one cycle of the memory stage: each read port whose
+// generator has addresses left and whose smart buffer can accept a bus
+// word fetches up to BusElems elements from BRAM and pushes them.
+func (s *System) memoryStage() error {
+	for i, buf := range s.buffers {
+		gen := s.readGens[i]
+		if gen.Done() || !buf.CanAccept() {
+			continue // backpressure: window data still live
+		}
+		start, n := gen.NextRange()
+		word, err := s.readBRAMs[i].ReadRange(start, n)
+		if err != nil {
+			return err
+		}
+		if err := buf.Push(word); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillInputs materializes one feed cycle's data-path input vector:
+// window taps through the routing tables, induction-variable values off
+// the odometer (which it advances), and scalar parameters. The caller
+// zeroes the row first iff plan.needClear.
+func (s *System) fillInputs(row []int64) error {
+	p := s.plan
+	for bi, buf := range s.buffers {
+		if err := buf.PopWindowRouted(row, p.reads[bi].route); err != nil {
+			return err
+		}
+	}
+	// The odometer exists to value induction-variable inputs; kernels
+	// whose IVs were eliminated from the data path (pure windowing) skip
+	// it entirely.
+	if len(p.ivs) > 0 {
+		for _, iv := range p.ivs {
+			row[iv.in] = p.from[iv.level] + s.iter[iv.level]*p.step[iv.level]
+		}
+		s.advanceOdometer()
+	}
+	for si, ix := range p.scalarIn {
+		if ix >= 0 {
+			row[ix] = s.scalarVals[si]
+		}
+	}
+	return nil
+}
+
+// harvest writes one exited iteration's output-port values into the
+// output BRAMs through the write address generators and records the
+// completion with the controller.
+func (s *System) harvest(outs []int64) error {
+	p := s.plan
+	for wi := range s.writeGens {
+		addrs := s.writeGens[wi].NextInto(s.writeAddrs[wi])
+		if addrs == nil {
+			return fmt.Errorf("netlist: write generator exhausted early")
+		}
+		outIdx := p.writes[wi].outIdx
+		bram := s.writeBRAMs[wi]
+		for ei, a := range addrs {
+			if err := bram.Write(a, outs[outIdx[ei]]); err != nil {
+				return err
+			}
+		}
+	}
+	s.ctl.Collect()
+	return nil
 }
 
 // advanceOdometer walks the loop nest iteration space in row-major

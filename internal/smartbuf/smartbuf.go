@@ -12,6 +12,7 @@ package smartbuf
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Config describes one array's window access pattern, produced by scalar
@@ -103,16 +104,25 @@ func (c Config) StorageBits() int {
 // arrives.
 type Buffer struct {
 	cfg Config
-	// ring holds the most recent elements in streaming order.
-	ring  []int64
-	count int // total elements pushed
+	// ring holds the most recent elements in streaming order. It is
+	// allocated at the next power of two above the logical capacity so
+	// streaming indices resolve with a mask instead of a modulo; cap is
+	// the logical capacity — the storage the synthesized buffer actually
+	// has (StorageBits) plus bus slack — and stays the eviction horizon
+	// and CanAccept bound, so the physical slack never changes
+	// backpressure timing.
+	ring []int64
+	mask int
+	cap  int
+	// tapOff[i] is Taps[i] flattened to a streaming-index offset from
+	// the window origin, so the pop loop adds one int per tap instead of
+	// chasing per-tap coordinate slices.
+	tapOff []int
+	count  int // total elements pushed
 	// win is the next window's origin in array coordinates; popped is
 	// the per-dimension count of windows already produced.
 	win    []int
 	popped []int
-	// fetched tracks total fetches for the reuse property (each element
-	// exactly once).
-	fetched int
 }
 
 // New builds a buffer; the config must validate.
@@ -120,13 +130,24 @@ func New(cfg Config) (*Buffer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cap := cfg.capacity()
 	b := &Buffer{
 		cfg:    cfg,
-		ring:   make([]int64, cfg.capacity()),
+		ring:   make([]int64, 1<<bits.Len(uint(cap-1))),
+		cap:    cap,
 		win:    make([]int, len(cfg.Extent)),
 		popped: make([]int, len(cfg.Extent)),
 	}
+	b.mask = len(b.ring) - 1
 	copy(b.win, cfg.Origin)
+	b.tapOff = make([]int, len(cfg.Taps))
+	for i, tap := range cfg.Taps {
+		if len(cfg.Extent) == 1 {
+			b.tapOff[i] = int(tap[0]) - cfg.MinOff[0]
+		} else {
+			b.tapOff[i] = (int(tap[0])-cfg.MinOff[0])*cfg.ArrayDims[1] + int(tap[1]) - cfg.MinOff[1]
+		}
+	}
 	return b, nil
 }
 
@@ -140,8 +161,9 @@ func (c Config) capacity() int {
 }
 
 // Fetched returns how many elements have been pushed (for the
-// fetch-once property).
-func (b *Buffer) Fetched() int { return b.fetched }
+// fetch-once property): every pushed element is a fetch, so the push
+// count is the fetch count.
+func (b *Buffer) Fetched() int { return b.count }
 
 // minNeededIndex is a lower bound on the oldest element index the next
 // window still references.
@@ -161,7 +183,7 @@ func (b *Buffer) minNeededIndex() int {
 // evicting data the next window still needs — the buffer's backpressure
 // signal to the read address generator.
 func (b *Buffer) CanAccept() bool {
-	return b.count+b.cfg.BusElems-b.minNeededIndex() <= len(b.ring)
+	return b.count+b.cfg.BusElems-b.minNeededIndex() <= b.cap
 }
 
 // Push delivers the next elems (<= BusElems) in streaming order.
@@ -170,9 +192,8 @@ func (b *Buffer) Push(elems []int64) error {
 		return fmt.Errorf("smartbuf: push of %d elements exceeds bus width %d", len(elems), b.cfg.BusElems)
 	}
 	for _, v := range elems {
-		b.ring[b.count%len(b.ring)] = v
+		b.ring[b.count&b.mask] = v
 		b.count++
-		b.fetched++
 	}
 	return nil
 }
@@ -182,10 +203,10 @@ func (b *Buffer) at(i int) (int64, error) {
 	if i >= b.count {
 		return 0, fmt.Errorf("smartbuf: element %d not yet arrived (count %d)", i, b.count)
 	}
-	if b.count-i > len(b.ring) {
+	if b.count-i > b.cap {
 		return 0, fmt.Errorf("smartbuf: element %d already evicted (reuse distance exceeded)", i)
 	}
-	return b.ring[i%len(b.ring)], nil
+	return b.ring[i&b.mask], nil
 }
 
 // WindowReady reports whether the next window's last element has
@@ -229,6 +250,12 @@ func (b *Buffer) PopWindow() ([]int64, error) {
 // PopWindowInto is PopWindow writing into a caller-provided buffer of
 // exactly len(cfg.Taps) elements, so a cycle loop popping one window per
 // clock does not allocate.
+//
+// The tap reads skip at()'s per-element checks: WindowReady guarantees
+// every tap has arrived (all taps lie at or before the window's last
+// element), and no tap can be evicted — taps lie at or after the window
+// origin, and the push-side CanAccept invariant keeps
+// count <= cap + origin at all times.
 func (b *Buffer) PopWindowInto(out []int64) error {
 	if len(out) != len(b.cfg.Taps) {
 		return fmt.Errorf("smartbuf: window buffer holds %d elements, want %d taps", len(out), len(b.cfg.Taps))
@@ -236,23 +263,21 @@ func (b *Buffer) PopWindowInto(out []int64) error {
 	if !b.WindowReady() {
 		return fmt.Errorf("smartbuf: window not ready")
 	}
-	for i, tap := range b.cfg.Taps {
-		var idx int
-		switch len(b.cfg.Extent) {
-		case 1:
-			idx = b.win[0] + int(tap[0]) - b.cfg.MinOff[0]
-		default:
-			r := b.win[0] + int(tap[0]) - b.cfg.MinOff[0]
-			c := b.win[1] + int(tap[1]) - b.cfg.MinOff[1]
-			idx = r*b.cfg.ArrayDims[1] + c
-		}
-		v, err := b.at(idx)
-		if err != nil {
-			return err
-		}
-		out[i] = v
+	ring, mask := b.ring, b.mask
+	base := b.win[0]
+	if len(b.cfg.Extent) > 1 {
+		base = b.win[0]*b.cfg.ArrayDims[1] + b.win[1]
 	}
-	// Slide: innermost dimension first, wrapping to the next row strip.
+	for i, off := range b.tapOff {
+		out[i] = ring[(base+off)&mask]
+	}
+	b.slide()
+	return nil
+}
+
+// slide advances the window by the stride: innermost dimension first,
+// wrapping to the next row strip for 2-D patterns.
+func (b *Buffer) slide() {
 	last := len(b.cfg.Extent) - 1
 	b.popped[last]++
 	b.win[last] += b.cfg.Stride[last]
@@ -262,6 +287,31 @@ func (b *Buffer) PopWindowInto(out []int64) error {
 		b.popped[0]++
 		b.win[0] += b.cfg.Stride[0]
 	}
+}
+
+// PopWindowRouted is PopWindowInto with the tap→destination routing
+// fused in: tap t lands at out[route[t]], taps routed negative are
+// dropped. Cycle loops that would otherwise pop into a scratch window
+// and re-copy through a routing table (the netlist feed stage) save the
+// intermediate buffer entirely.
+func (b *Buffer) PopWindowRouted(out []int64, route []int32) error {
+	if len(route) != len(b.tapOff) {
+		return fmt.Errorf("smartbuf: routing table holds %d entries, want %d taps", len(route), len(b.tapOff))
+	}
+	if !b.WindowReady() {
+		return fmt.Errorf("smartbuf: window not ready")
+	}
+	ring, mask := b.ring, b.mask
+	base := b.win[0]
+	if len(b.cfg.Extent) > 1 {
+		base = b.win[0]*b.cfg.ArrayDims[1] + b.win[1]
+	}
+	for i, off := range b.tapOff {
+		if d := route[i]; d >= 0 {
+			out[d] = ring[(base+off)&mask]
+		}
+	}
+	b.slide()
 	return nil
 }
 
@@ -269,11 +319,108 @@ func (b *Buffer) PopWindowInto(out []int64) error {
 // required length of a PopWindowInto destination buffer.
 func (b *Buffer) Taps() int { return len(b.cfg.Taps) }
 
+// stripRemaining is how many windows are left in the innermost sweep
+// dimension before the window walk wraps to the next row strip (for 1-D
+// patterns, before the walk ends). Within a strip the window's last
+// element advances by exactly the innermost stride per pop; at the strip
+// boundary it jumps by whole array rows, so streak reasoning stops there.
+func (b *Buffer) stripRemaining() int {
+	last := len(b.cfg.Extent) - 1
+	return b.cfg.Windows[last] - b.popped[last]
+}
+
+// WindowsBuffered reports how many consecutive windows, starting with
+// the next one, are already fully resident — poppable now, with no
+// further Push required. It is O(1): within a row strip the window's
+// last streaming index advances by the innermost stride per pop, so the
+// resident count is a division, capped at the strip boundary (the first
+// window of the next strip needs whole new array rows). The count is a
+// guaranteed-feed lower bound regardless of how memory-stage pushes
+// interleave: resident data is never evicted while a window still
+// references it (CanAccept backpressure).
+func (b *Buffer) WindowsBuffered() int {
+	if !b.WindowReady() {
+		return 0
+	}
+	stride := b.cfg.Stride[len(b.cfg.Extent)-1]
+	k := (b.count-1-b.lastIndexOfWindow())/stride + 1
+	if strip := b.stripRemaining(); k > strip {
+		k = strip
+	}
+	return k
+}
+
+// StallStreak returns, for a buffer whose next window is NOT ready, the
+// exact number of consecutive cycles the window stays unready under the
+// serial memory-stage schedule (one bus word per cycle): the cycles a
+// stalled system spends filling. It is O(1): the missing element count
+// divided by the bus width. Backpressure cannot block a fill — pushes
+// are admitted exactly until the pending window's last element arrives
+// (capacity() is the window span plus one bus word) — and a validated
+// window sweep never needs elements past the array, so the generator
+// cannot run dry first. Returns 0 if the window is already ready (or
+// all windows are done: the caller's controller is draining then).
+func (b *Buffer) StallStreak() int {
+	if b.done() {
+		return 0
+	}
+	missing := b.lastIndexOfWindow() + 1 - b.count
+	if missing <= 0 {
+		return 0
+	}
+	return (missing + b.cfg.BusElems - 1) / b.cfg.BusElems
+}
+
+// FeedStreak returns a safe lower bound on the number of consecutive
+// cycles, starting now, for which WindowReady holds every cycle under
+// the serial memory-stage schedule — at most one bus word pushed per
+// cycle while CanAccept allows it (push before pop, as the system cycle
+// orders them), one window popped per cycle — capped at max. The caller
+// must have run the current cycle's push already: the bound counts this
+// cycle's window as streak position zero.
+//
+// The bound is O(1). Within a row strip the requirement (the window's
+// last streaming index) grows by the innermost stride S per cycle while
+// the supply grows by up to BusElems B per cycle, so:
+//
+//   - S <= B: supply never falls behind. If a push is ever blocked by
+//     backpressure, the buffer is holding a full window span plus a bus
+//     word (capacity() is exactly that), which already contains the
+//     cycle's window — blocked implies ready. The streak runs to the end
+//     of the strip.
+//   - S > B: consumption outruns the bus. Backpressure cannot re-arm
+//     mid-streak (the gap between supply and the window origin only
+//     widens), so if the next push is unblocked the supply is exactly
+//     count + i*B and the streak length is the largest k with
+//     lastIndex + i*S < count + i*B for all i < k. If the next push IS
+//     blocked, fall back to the windows already resident — always safe.
+//
+// Cycles beyond the array's last element need no supply at all: the
+// validated window sweep never references past the array, so the
+// min(T, ...) clamp on supply can only relax the bound.
+func (b *Buffer) FeedStreak(max int) int {
+	if max <= 0 || !b.WindowReady() {
+		return 0
+	}
+	stride := b.cfg.Stride[len(b.cfg.Extent)-1]
+	k := b.stripRemaining()
+	if stride > b.cfg.BusElems {
+		if !b.CanAccept() {
+			k = b.WindowsBuffered()
+		} else if supply := (b.count - 1 - b.lastIndexOfWindow()) / (stride - b.cfg.BusElems); supply+1 < k {
+			k = supply + 1
+		}
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}
+
 // Reset empties the buffer and rewinds the window walk to the first
 // window, without allocating, so one buffer can be reused across runs.
 func (b *Buffer) Reset() {
 	b.count = 0
-	b.fetched = 0
 	copy(b.win, b.cfg.Origin)
 	for i := range b.popped {
 		b.popped[i] = 0

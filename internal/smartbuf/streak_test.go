@@ -1,0 +1,236 @@
+package smartbuf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// streak_test.go pins the O(1) streak/stall predictors against a
+// cycle-by-cycle oracle: the buffer is driven exactly as the system's
+// memory stage drives it (one bus word pushed per cycle while CanAccept,
+// push before pop), and every prediction is checked against what then
+// actually happens — FeedStreak and WindowsBuffered must never promise
+// a feed cycle that stalls, and StallStreak must name the exact cycle
+// the window becomes ready.
+
+// randomGeometry builds a valid random 1-D or 2-D window configuration.
+func randomGeometry(rng *rand.Rand) Config {
+	if rng.Intn(2) == 0 {
+		s := 1 + rng.Intn(4)
+		e := 1 + rng.Intn(5)
+		w := 1 + rng.Intn(20)
+		o := rng.Intn(3)
+		taps := make([][]int64, e)
+		for i := range taps {
+			taps[i] = []int64{int64(i)}
+		}
+		return Config{
+			Extent:    []int{e},
+			MinOff:    []int{0},
+			Stride:    []int{s},
+			ArrayDims: []int{o + (w-1)*s + e + rng.Intn(4)},
+			Origin:    []int{o},
+			Windows:   []int{w},
+			ElemBits:  16,
+			BusElems:  1 + rng.Intn(4),
+			Taps:      taps,
+		}
+	}
+	e0, e1 := 1+rng.Intn(3), 1+rng.Intn(3)
+	s0, s1 := 1+rng.Intn(2), 1+rng.Intn(3)
+	w0, w1 := 1+rng.Intn(4), 1+rng.Intn(6)
+	var taps [][]int64
+	for r := 0; r < e0; r++ {
+		for c := 0; c < e1; c++ {
+			taps = append(taps, []int64{int64(r), int64(c)})
+		}
+	}
+	return Config{
+		Extent:    []int{e0, e1},
+		MinOff:    []int{0, 0},
+		Stride:    []int{s0, s1},
+		ArrayDims: []int{(w0-1)*s0 + e0 + rng.Intn(2), (w1-1)*s1 + e1 + rng.Intn(3)},
+		Origin:    []int{0, 0},
+		Windows:   []int{w0, w1},
+		ElemBits:  16,
+		BusElems:  1 + rng.Intn(4),
+		Taps:      taps,
+	}
+}
+
+func TestStreakPredictorsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	for trial := 0; trial < 300; trial++ {
+		cfg := randomGeometry(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid geometry: %v\n%+v", trial, err, cfg)
+		}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 1
+		for _, d := range cfg.ArrayDims {
+			total *= d
+		}
+		data := make([]int64, total)
+		for i := range data {
+			data[i] = rng.Int63n(1 << 20)
+		}
+		pos := 0
+		push := func() {
+			if pos >= total || !b.CanAccept() {
+				return
+			}
+			n := cfg.BusElems
+			if pos+n > total {
+				n = total - pos
+			}
+			if err := b.Push(data[pos : pos+n]); err != nil {
+				t.Fatal(err)
+			}
+			pos += n
+		}
+		out := make([]int64, len(cfg.Taps))
+		promised := 0 // feed cycles FeedStreak still guarantees
+		stall := -1   // exact stall cycles StallStreak still predicts
+		for cycle := 0; !b.Done(); cycle++ {
+			if cycle > 8*total+64 {
+				t.Fatalf("trial %d: runaway oracle\n%+v", trial, cfg)
+			}
+			push()
+			ready := b.WindowReady()
+			if promised > 0 && !ready {
+				t.Fatalf("trial %d cycle %d: FeedStreak promised a feed, window stalled\n%+v", trial, cycle, cfg)
+			}
+			if stall > 0 && ready {
+				t.Fatalf("trial %d cycle %d: StallStreak promised a stall, window is ready\n%+v", trial, cycle, cfg)
+			}
+			if stall == 0 && !ready {
+				t.Fatalf("trial %d cycle %d: StallStreak ended, window still stalled\n%+v", trial, cycle, cfg)
+			}
+			if ready {
+				stall = -1
+				if st := b.StallStreak(); st != 0 {
+					t.Fatalf("trial %d cycle %d: StallStreak = %d on a ready window", trial, cycle, st)
+				}
+				if k := b.FeedStreak(1 << 30); k > promised {
+					promised = k
+				}
+				if wb := b.WindowsBuffered(); wb < 1 {
+					t.Fatalf("trial %d cycle %d: WindowsBuffered = %d on a ready window", trial, cycle, wb)
+				} else if wb > promised && wb > b.FeedStreak(1<<30) {
+					// Resident windows are a guaranteed feed streak too.
+					promised = wb
+				}
+				if promised < 1 {
+					t.Fatalf("trial %d cycle %d: ready window but FeedStreak = 0\n%+v", trial, cycle, cfg)
+				}
+				if err := b.PopWindowInto(out); err != nil {
+					t.Fatal(err)
+				}
+				promised--
+			} else {
+				promised = 0 // never promised: checked above
+				m := b.StallStreak()
+				if m < 1 {
+					t.Fatalf("trial %d cycle %d: stalled window but StallStreak = %d\n%+v", trial, cycle, m, cfg)
+				}
+				if stall > 0 && m != stall {
+					t.Fatalf("trial %d cycle %d: StallStreak drifted %d -> %d mid-stall", trial, cycle, stall, m)
+				}
+				stall = m - 1
+			}
+		}
+		if b.Fetched() > total {
+			t.Fatalf("trial %d: fetched %d of %d elements", trial, b.Fetched(), total)
+		}
+	}
+}
+
+// TestPopWindowRouted pins the routed pop against PopWindowInto plus a
+// hand-applied routing table, including a dropped (-1) tap.
+func TestPopWindowRouted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cfg := randomGeometry(rng)
+		b1, _ := New(cfg)
+		b2, _ := New(cfg)
+		total := 1
+		for _, d := range cfg.ArrayDims {
+			total *= d
+		}
+		data := make([]int64, total)
+		for i := range data {
+			data[i] = rng.Int63n(1 << 20)
+		}
+		route := make([]int32, len(cfg.Taps))
+		width := len(cfg.Taps) + 2
+		perm := rng.Perm(width)
+		for i := range route {
+			route[i] = int32(perm[i])
+		}
+		drop := -1
+		if len(route) > 1 {
+			drop = rng.Intn(len(route))
+			route[drop] = -1
+		}
+		pos := 0
+		win := make([]int64, len(cfg.Taps))
+		routed := make([]int64, width)
+		for !b1.Done() {
+			if pos < total && b1.CanAccept() {
+				n := cfg.BusElems
+				if pos+n > total {
+					n = total - pos
+				}
+				b1.Push(data[pos : pos+n])
+				b2.Push(data[pos : pos+n])
+				pos += n
+			}
+			if !b1.WindowReady() {
+				continue
+			}
+			if err := b1.PopWindowInto(win); err != nil {
+				t.Fatal(err)
+			}
+			for i := range routed {
+				routed[i] = -999
+			}
+			if err := b2.PopWindowRouted(routed, route); err != nil {
+				t.Fatal(err)
+			}
+			for i, d := range route {
+				if i == drop {
+					continue
+				}
+				if routed[d] != win[i] {
+					t.Fatalf("trial %d: routed[%d] = %d, want tap %d = %d", trial, d, routed[d], i, win[i])
+				}
+			}
+			if drop >= 0 {
+				used := map[int32]bool{}
+				for i, d := range route {
+					if i != drop {
+						used[d] = true
+					}
+				}
+				for i := range routed {
+					if !used[int32(i)] && routed[i] != -999 {
+						t.Fatalf("trial %d: dropped tap wrote slot %d", trial, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPopWindowRoutedBadTable(t *testing.T) {
+	b, err := New(fir5(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PopWindowRouted(make([]int64, 5), make([]int32, 3)); err == nil {
+		t.Fatal("short routing table not rejected")
+	}
+}
