@@ -130,24 +130,32 @@ func BenchmarkSysRun(b *testing.B) {
 		for i := range in {
 			in[i] = rng.Int63n(255) - 128
 		}
-		for _, serial := range []bool{true, false} {
-			mode := "streak"
-			if serial {
-				mode = "serial"
-			}
-			b.Run(tc.name+"-"+mode, func(b *testing.B) {
-				sys, err := netlist.NewSystem(res.Kernel, res.Datapath,
-					netlist.Config{BusElems: 1, Serial: serial})
+		modes := []struct {
+			name string
+			cfg  netlist.Config
+		}{
+			{tc.name + "-serial", netlist.Config{BusElems: 1, Serial: true}},
+			{tc.name + "-streak", netlist.Config{BusElems: 1}},
+		}
+		for _, backend := range dp.Backends()[1:] {
+			modes = append(modes, struct {
+				name string
+				cfg  netlist.Config
+			}{tc.name + "-streak-" + backend.String(), netlist.Config{BusElems: 1, Backend: backend}})
+		}
+		for _, m := range modes {
+			b.Run(m.name, func(b *testing.B) {
+				sys, err := netlist.NewSystem(res.Kernel, res.Datapath, m.cfg)
 				if err != nil {
-					b.Fatal(err)
+					b.Fatalf("%s: %v", m.name, err)
 				}
 				run := func() {
 					sys.Reset()
 					if err := sys.LoadInput("A", in); err != nil {
-						b.Fatal(err)
+						b.Fatalf("%s: %v", m.name, err)
 					}
 					if _, err := sys.Run(); err != nil {
-						b.Fatal(err)
+						b.Fatalf("%s: %v", m.name, err)
 					}
 				}
 				run() // warm-up: grows the batch lane scratch once
@@ -281,31 +289,39 @@ func BenchmarkDatapathSim(b *testing.B) {
 }
 
 // BenchmarkDatapathSimBatch is BenchmarkDatapathSim on the batch path:
-// the same DCT data path advanced through StepN in 256-iteration
-// dispatches, so ns/op is directly comparable with the serial
-// benchmark's per-Step cost. The steady state is gated at 0 allocs/op
-// in CI.
+// StepN in 256-iteration dispatches, so ns/op is directly comparable
+// with the serial benchmark's per-Step cost. Sub-benchmarks pair each
+// execution backend with a feedback-free kernel (dct, the pure op-major
+// path) and the feedback kernel (mul_acc, whose accumulate cone the
+// threaded/cone backends vectorize in closed form). The steady states
+// are gated at 0 allocs/op in CI (codegen group), and the threaded
+// variants at CPU-conditioned speedup floors over interp.
 func BenchmarkDatapathSimBatch(b *testing.B) {
-	k := bench.DCT()
-	res, err := k.Compile()
-	if err != nil {
-		b.Fatal(err)
-	}
-	sim := NewSim(res)
-	const batch = 256
-	in := make([]int64, batch*len(res.Datapath.Inputs))
-	rng := rand.New(rand.NewSource(2))
-	for i := range in {
-		in[i] = rng.Int63n(255) - 128
-	}
-	if _, err := sim.StepN(in, batch); err != nil { // warm-up grows the lane scratch
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for n := 0; n < b.N; n += batch {
-		if _, err := sim.StepN(in, batch); err != nil {
+	for _, k := range []bench.Kernel{bench.DCT(), bench.MulAcc()} {
+		res, err := k.Compile()
+		if err != nil {
 			b.Fatal(err)
+		}
+		for _, backend := range dp.Backends() {
+			b.Run(k.Name+"-"+backend.String(), func(b *testing.B) {
+				sim := dp.NewSimWith(res.Datapath, backend)
+				const batch = 256
+				in := make([]int64, batch*len(res.Datapath.Inputs))
+				rng := rand.New(rand.NewSource(2))
+				for i := range in {
+					in[i] = rng.Int63n(255) - 128
+				}
+				if _, err := sim.StepN(in, batch); err != nil { // warm-up grows the lane scratch
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n += batch {
+					if _, err := sim.StepN(in, batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"roccc/internal/dp"
 	"roccc/internal/exp"
 )
 
@@ -25,11 +26,18 @@ func main() {
 		servesweep = flag.Bool("serve", false, "print the serve sweep (rocccserve TCP vs serial System.Run)")
 		jobs       = flag.Int("jobs", 64, "independent input streams per sweep")
 		workers    = flag.Int("workers", 0, "sweep shard width (0 = GOMAXPROCS)")
+		backendF   = flag.String("backend", "threaded", "execution backend for the -sysbatch sweep's backend columns: interp, threaded or cone")
 		all        = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "rocccbench: -jobs must be at least 1")
+		flag.Usage()
+		os.Exit(2)
+	}
+	backend, err := dp.ParseBackend(*backendF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocccbench:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,7 +72,7 @@ func main() {
 		fmt.Println(exp.FormatSweeps([]*exp.SweepResult{fir, dct}))
 	}
 	if *sysbatch || *all {
-		rows, err := exp.SysBatchSweep(*jobs / 8)
+		rows, err := exp.SysBatchSweep(*jobs/8, backend)
 		if err != nil {
 			fatal(err)
 		}

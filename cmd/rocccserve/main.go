@@ -25,19 +25,27 @@ import (
 	"syscall"
 	"time"
 
+	"roccc/internal/dp"
 	"roccc/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":9944", "TCP listen address")
-		workers = flag.Int("workers", 0, "pool shard width per kernel (0 = GOMAXPROCS)")
-		maxIdle = flag.Int("max-idle", 0, "cap on idle pooled Systems per kernel (0 = unbounded)")
-		grace   = flag.Duration("grace", 10*time.Second, "drain budget on shutdown")
+		addr     = flag.String("addr", ":9944", "TCP listen address")
+		workers  = flag.Int("workers", 0, "pool shard width per kernel (0 = GOMAXPROCS)")
+		maxIdle  = flag.Int("max-idle", 0, "cap on idle pooled Systems per kernel (0 = unbounded)")
+		grace    = flag.Duration("grace", 10*time.Second, "drain budget on shutdown")
+		backendF = flag.String("backend", "interp", "data-path execution backend for every registered kernel: interp, threaded or cone")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "rocccserve: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	backend, err := dp.ParseBackend(*backendF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocccserve:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -46,6 +54,7 @@ func main() {
 	srv.SetMaxIdle(*maxIdle)
 	names := make([]string, 0, 16)
 	for _, spec := range serve.Table1Specs() {
+		spec.Config.Backend = backend
 		if err := srv.Register(spec); err != nil {
 			fatal(err)
 		}
@@ -58,7 +67,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("rocccserve: listening on %s\n", ln.Addr())
-	fmt.Printf("rocccserve: %d kernels resident (lazy-compiled): %v\n", len(names), names)
+	fmt.Printf("rocccserve: %d kernels resident (lazy-compiled, backend=%v): %v\n", len(names), backend, names)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -144,8 +144,11 @@ func (s *Sim) batchRun(inputs []int64, n int, valid bool) ([]int64, error) {
 }
 
 // serialChunk runs one chunk through the serial core (tiny chunks,
-// pure-feedback plans, and fault replays).
-func (s *Sim) serialChunk(in []int64, n int, valid bool, out []int64) error {
+// pure-feedback plans, and fault replays). interpOnly forces the
+// interpreter step regardless of backend: fault replays go straight to
+// the canonical loop instead of re-entering the threaded step only to
+// fall back again on the faulting cycle.
+func (s *Sim) serialChunk(in []int64, n int, valid bool, out []int64, interpOnly bool) error {
 	inW := len(s.p.inSlots)
 	outW := len(s.p.outSlots)
 	for c := 0; c < n; c++ {
@@ -153,7 +156,13 @@ func (s *Sim) serialChunk(in []int64, n int, valid bool, out []int64) error {
 		if valid {
 			row = in[c*inW : (c+1)*inW]
 		}
-		o, err := s.step(row, valid)
+		var o []int64
+		var err error
+		if interpOnly {
+			o, err = s.stepInterp(row, valid)
+		} else {
+			o, err = s.step(row, valid)
+		}
 		if err != nil {
 			return err
 		}
@@ -167,11 +176,30 @@ func (s *Sim) serialChunk(in []int64, n int, valid bool, out []int64) error {
 // and outputs only after the whole chunk has computed fault-free.
 func (s *Sim) batchChunk(in []int64, n int, valid bool, out []int64) error {
 	p := s.p
-	if n <= batchSerialMax || (len(p.batchB) > 0 && len(p.batchA)+len(p.batchC) == 0) {
-		return s.serialChunk(in, n, valid, out)
+	// Resolve the backend's compiled artifacts up front: the threaded
+	// plan brings its lane kernels and a fixed lane stride; the cone
+	// backends bring the closed-form feedback cone (when recognized),
+	// which unlocks the lane layout for plans that would otherwise be
+	// pure-feedback.
+	var tp *threadPlan
+	var cone *coneSpec
+	switch s.backend {
+	case BackendThreaded:
+		tp = p.threadFor()
+		cone = tp.cone
+	case BackendCone:
+		cone = p.coneFor()
+	}
+	if n <= batchSerialMax || (cone == nil && len(p.batchB) > 0 && len(p.batchA)+len(p.batchC) == 0) {
+		return s.serialChunk(in, n, valid, out, false)
 	}
 	stages := p.stages
 	laneN := stages + n
+	if tp != nil {
+		// The threaded lane kernels bake region bases against the plan's
+		// fixed maximal stride; short chunks leave the tail lanes unused.
+		laneN = tp.laneN
+	}
 	if need := p.nOps * laneN; cap(s.laneVals) < need {
 		s.laneVals = make([]int64, need)
 	}
@@ -180,22 +208,24 @@ func (s *Sim) batchChunk(in []int64, n int, valid bool, out []int64) error {
 		s.laneValid = make([]bool, laneN)
 	}
 	lv := s.laneValid[:laneN]
-	if err := s.batchCompute(in, n, valid, lanes, lv, laneN); err != nil {
+	if err := s.batchCompute(in, n, valid, lanes, lv, laneN, tp, cone); err != nil {
 		// A valid lane hit a faulting op. Nothing has been committed:
 		// drop the staged latch writes and replay the chunk serially so
 		// the abort cycle, error and state match Step exactly.
 		for i := range s.stagedSet {
 			s.stagedSet[i] = false
 		}
-		return s.serialChunk(in, n, valid, out)
+		return s.serialChunk(in, n, valid, out, true)
 	}
 	s.commitChunk(n, valid, lanes, laneN, out)
 	return nil
 }
 
 // batchCompute fills the lane scratch: validity, in-flight seeds from
-// the ring, batch input rows, then the three execution classes.
-func (s *Sim) batchCompute(in []int64, n int, valid bool, lanes []int64, lv []bool, laneN int) error {
+// the ring, batch input rows, then the three execution classes — each
+// class dispatched through the backend's artifacts when present (tp for
+// threaded lane kernels, cone for the closed-form feedback cone).
+func (s *Sim) batchCompute(in []int64, n int, valid bool, lanes []int64, lv []bool, laneN int, tp *threadPlan, cone *coneSpec) error {
 	p := s.p
 	stages := p.stages
 	cycle0 := s.cycle
@@ -211,7 +241,7 @@ func (s *Sim) batchCompute(in []int64, n int, valid bool, lanes []int64, lv []bo
 		it := it0 + k
 		lv[k] = it >= 0 && s.validRing[it&rmask]
 	}
-	for k := stages; k < laneN; k++ {
+	for k := stages; k < stages+n; k++ {
 		lv[k] = valid
 	}
 
@@ -266,13 +296,32 @@ func (s *Sim) batchCompute(in []int64, n int, valid bool, lanes []int64, lv []bo
 		}
 	}
 
-	if err := s.batchOps(p.batchA, n, lanes, lv, laneN); err != nil {
+	if tp != nil {
+		if !runLaneFns(tp.laneA, lanes, lv, n) {
+			return errBatchFault
+		}
+	} else if err := s.batchOps(p.batchA, n, lanes, lv, laneN); err != nil {
 		return err
 	}
 	if len(p.batchB) > 0 {
-		if err := s.batchCone(p.batchB, n, lanes, lv, laneN); err != nil {
+		var err error
+		switch {
+		case cone != nil && tp != nil:
+			err = s.runCone(cone, n, lanes, lv, laneN, tp.coneFns)
+		case cone != nil:
+			err = s.runCone(cone, n, lanes, lv, laneN, nil)
+		default:
+			err = s.batchCone(p.batchB, n, lanes, lv, laneN)
+		}
+		if err != nil {
 			return err
 		}
+	}
+	if tp != nil {
+		if !runLaneFns(tp.laneC, lanes, lv, n) {
+			return errBatchFault
+		}
+		return nil
 	}
 	return s.batchOps(p.batchC, n, lanes, lv, laneN)
 }
@@ -664,7 +713,9 @@ func (s *Sim) batchCone(ops []cop, n int, lanes []int64, lv []bool, laneN int) e
 	st := s.batchState[:len(s.state)]
 	copy(st, s.state)
 	staged := false
-	for k := 0; k < laneN; k++ {
+	// Only lanes below stages+n are computable this chunk (laneN can be
+	// larger under the threaded backend's fixed stride).
+	for k := 0; k < stages+n; k++ {
 		for i := range ops {
 			op := &ops[i]
 			k0 := stages - int(op.stage)

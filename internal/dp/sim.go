@@ -3,6 +3,7 @@ package dp
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"roccc/internal/cc"
 	"roccc/internal/hir"
@@ -28,6 +29,14 @@ import (
 type Sim struct {
 	d *Datapath
 	p *simPlan
+	// backend selects the dispatch machinery (backend.go): the
+	// interpreter switch loop, the plan's compiled threaded code, or the
+	// closed-form-cone hybrid. The compiled structures live on the shared
+	// simPlan; the choice of whether to use them is per-Sim.
+	backend Backend
+	// stagedAny mirrors the interpreter loop's local staged flag for the
+	// threaded step, whose per-op closures cannot share a stack local.
+	stagedAny bool
 
 	// ring holds every op's output history: one rdepth-sized circular
 	// region per op (region base = op index × rdepth). ring[base+head] is
@@ -123,6 +132,14 @@ type simPlan struct {
 	ringNeed []int32
 	seeds    []ringEnt
 	commits  []ringEnt
+
+	// Lazily-compiled alternative backends, shared by every Sim over this
+	// plan (backend_cone.go, backend_threaded.go): the recognized
+	// closed-form feedback cone, and the plan lowered to threaded code.
+	coneOnce   sync.Once
+	cone       *coneSpec
+	threadOnce sync.Once
+	thread     *threadPlan
 }
 
 // ringEnt is one op region in the batch path's seed or commit worklist:
@@ -444,6 +461,26 @@ func NewSim(d *Datapath) *Sim {
 	return s
 }
 
+// NewSimWith builds a simulator over the data path that executes
+// through the given backend. The compiled backend structures are built
+// eagerly here (and cached on the shared plan), so construction — not
+// the first Step — pays the lowering cost, and NewSimWith over a warm
+// plan allocates no more than NewSim.
+func NewSimWith(d *Datapath, b Backend) *Sim {
+	s := NewSim(d)
+	s.backend = b
+	switch b {
+	case BackendThreaded:
+		s.p.threadFor()
+	case BackendCone:
+		s.p.coneFor()
+	}
+	return s
+}
+
+// Backend reports which execution backend this Sim dispatches through.
+func (s *Sim) Backend() Backend { return s.backend }
+
 // Reset returns the simulator to its power-on state — empty pipeline,
 // cycle zero, feedback latches at their init values — without
 // allocating, so one Sim can be reused across runs (System.Reset,
@@ -459,6 +496,7 @@ func (s *Sim) Reset() {
 	}
 	s.head = 0
 	s.cycle = 0
+	s.stagedAny = false
 }
 
 // Cycle returns the number of Steps executed.
@@ -535,7 +573,18 @@ func (s *Sim) abort(prevHead int) {
 	}
 }
 
+// step advances one clock through the Sim's selected backend. The
+// threaded backend runs the plan's compiled closure array; everything
+// else (including BackendCone, whose specialization only concerns the
+// batch path) takes the interpreter loop.
 func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
+	if s.backend == BackendThreaded {
+		return s.stepThreaded(inputs, valid)
+	}
+	return s.stepInterp(inputs, valid)
+}
+
+func (s *Sim) stepInterp(inputs []int64, valid bool) ([]int64, error) {
 	if len(inputs) != len(s.p.inSlots) {
 		return nil, fmt.Errorf("dp: sim: %d inputs, want %d", len(inputs), len(s.p.inSlots))
 	}

@@ -3,6 +3,8 @@ package exp
 import (
 	"strings"
 	"testing"
+
+	"roccc/internal/dp"
 )
 
 // TestSystemSweep: the sharded sweep must verify bit-identical against
@@ -81,7 +83,7 @@ func TestServeSweep(t *testing.T) {
 // sweep fails on any bit divergence, so a passing run certifies the
 // streak-batched Run across the Table 1 matrix end to end.
 func TestSysBatchSweep(t *testing.T) {
-	rows, err := SysBatchSweep(2)
+	rows, err := SysBatchSweep(2, dp.BackendThreaded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,12 +94,18 @@ func TestSysBatchSweep(t *testing.T) {
 			if r.BatchedPct <= 0 {
 				t.Errorf("%s: no cycles took the streak path", r.Kernel)
 			}
+			if r.Backed <= 0 {
+				t.Errorf("%s: threaded backend column not measured", r.Kernel)
+			}
 		}
 	}
 	if streamed < 5 {
 		t.Fatalf("only %d kernels streamed", streamed)
 	}
-	if s := FormatSysBatch(rows); !strings.Contains(s, "speedup") {
-		t.Errorf("table missing header:\n%s", s)
+	s := FormatSysBatch(rows)
+	for _, want := range []string{"speedup", "backend/it", "vs streak"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q header:\n%s", want, s)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"roccc/internal/core"
+	"roccc/internal/dp"
 )
 
 // firJobs builds n FIR input streams (seeded, so serial and sharded
@@ -513,4 +514,65 @@ void accum() {
 	if len(job.Outputs["C"]) != 17 {
 		t.Fatalf("fir rerun outputs: %v", job.Outputs)
 	}
+}
+
+// TestSystemPoolBackend pins the pool's backend plumbing: a pool built
+// with Config.Backend serves Systems on that backend, every matched
+// return is admitted, mismatched backends are rejected, and the
+// drained-pool accounting invariant Gets == Puts + Rejected holds with
+// the backend checks in the admission path.
+func TestSystemPoolBackend(t *testing.T) {
+	res, _ := buildSystem(t, firSource, "fir", core.Options{Optimize: true, PeriodNs: 5}, Config{BusElems: 1})
+	cfg := Config{BusElems: 1, Backend: dp.BackendThreaded}
+	pool, err := NewSystemPool(res.Kernel, res.Datapath, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var sims [3]*System
+	for i := range sims {
+		sys, err := pool.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.Backend(); got != dp.BackendThreaded {
+			t.Fatalf("threaded pool served a System on backend %v", got)
+		}
+		sims[i] = sys
+	}
+	// One mismatched return per foreign axis: interp backend, and the
+	// cone backend; both must be rejected without poisoning the free
+	// list.
+	for _, b := range []dp.Backend{dp.BackendInterp, dp.BackendCone} {
+		fcfg := cfg
+		fcfg.Backend = b
+		foreign, err := NewSystem(res.Kernel, res.Datapath, fcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(foreign)
+	}
+	for _, sys := range sims {
+		pool.Put(sys)
+	}
+	st := pool.Stats()
+	if st.Rejected < 2 {
+		t.Fatalf("backend-mismatched Systems admitted: %+v", st)
+	}
+	// All three Gets were returned; the two foreign Puts are surplus
+	// attempts, so the drained invariant reads Gets + foreign == Puts +
+	// Rejected.
+	if st.Gets+2 != st.Puts+st.Rejected {
+		t.Fatalf("pool accounting out of balance: %+v (Gets+2 != Puts+Rejected)", st)
+	}
+	// A re-Get must come off the free list on the pool's backend.
+	sys, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Backend(); got != dp.BackendThreaded {
+		t.Fatalf("recycled System on backend %v, want threaded", got)
+	}
+	pool.Put(sys)
 }

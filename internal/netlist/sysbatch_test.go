@@ -21,14 +21,20 @@ import (
 // (stride under/at/over the bus width, 2-D strips), and divide-by-zero
 // faults planted on valid iterations.
 
-// diffRun runs the same streams through a serial and a streak-batched
-// System and fails on any observable divergence. It returns how many
-// cycles the batched systems dispatched through the streak path, so
-// callers can assert the batch machinery actually engaged.
+// diffRun runs the same streams through a serial interpreter System and
+// a streak-batched System on cfg's execution backend, and fails on any
+// observable divergence — the failing backend is named in the message.
+// It returns how many cycles the batched systems dispatched through the
+// streak path, so callers can assert the batch machinery actually
+// engaged.
 func diffRun(t *testing.T, res *core.Result, cfg Config, streams []map[string][]int64, tag string) int {
 	t.Helper()
+	tag = fmt.Sprintf("%s[%v]", tag, cfg.Backend)
+	// The reference is always the serial interpreter core, whatever
+	// backend the batched system runs.
 	scfg := cfg
 	scfg.Serial = true
+	scfg.Backend = dp.BackendInterp
 	serial, err := NewSystem(res.Kernel, res.Datapath, scfg)
 	if err != nil {
 		t.Fatalf("%s: serial system: %v", tag, err)
@@ -140,23 +146,25 @@ func randStreams(res *core.Result, rng *rand.Rand, n int) []map[string][]int64 {
 // at all — through both dispatch paths.
 func TestSysBatchTable1(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260726))
-	sawStreak := false
-	for _, k := range bench.All() {
-		res, err := k.Compile()
-		if err != nil {
-			t.Fatalf("%s: %v", k.Name, err)
+	for _, backend := range dp.Backends() {
+		sawStreak := false
+		for _, k := range bench.All() {
+			res, err := k.Compile()
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			cfg := Config{BusElems: k.BusElems, Scalars: k.Scalars, Backend: backend}
+			if _, err := NewSystem(res.Kernel, res.Datapath, cfg); err != nil {
+				continue // combinational row: no loop nest to stream
+			}
+			bc := diffRun(t, res, cfg, randStreams(res, rng, 4), k.Name)
+			if bc > 0 {
+				sawStreak = true
+			}
 		}
-		cfg := Config{BusElems: k.BusElems, Scalars: k.Scalars}
-		if _, err := NewSystem(res.Kernel, res.Datapath, cfg); err != nil {
-			continue // combinational row: no loop nest to stream
+		if !sawStreak {
+			t.Fatalf("[%v] no Table 1 kernel dispatched a single streak chunk; the batch path never engaged", backend)
 		}
-		bc := diffRun(t, res, cfg, randStreams(res, rng, 4), k.Name)
-		if bc > 0 {
-			sawStreak = true
-		}
-	}
-	if !sawStreak {
-		t.Fatal("no Table 1 kernel dispatched a single streak chunk; the batch path never engaged")
 	}
 }
 
@@ -294,8 +302,11 @@ void divide() {
 	for _, at := range []int{0, 1, 5, n / 2, n - 2, n - 1} {
 		streams = append(streams, mk(at))
 	}
-	if bc := diffRun(t, res, Config{BusElems: 1}, streams, "divider"); bc == 0 {
-		t.Fatal("divider never dispatched a streak chunk; fault replay path untested")
+	for _, backend := range dp.Backends() {
+		cfg := Config{BusElems: 1, Backend: backend}
+		if bc := diffRun(t, res, cfg, streams, "divider"); bc == 0 {
+			t.Fatalf("[%v] divider never dispatched a streak chunk; fault replay path untested", backend)
+		}
 	}
 }
 
@@ -348,5 +359,24 @@ func TestSysBatchPoolPassthrough(t *testing.T) {
 	after := pool.Stats()
 	if after.Rejected != before.Rejected+1 {
 		t.Fatalf("serial System admitted into a batched pool (rejected %d -> %d)", before.Rejected, after.Rejected)
+	}
+
+	// A System on a different execution backend must be rejected too —
+	// an interp pool fed a threaded System (or vice versa) would silently
+	// change the dispatch path of later Gets.
+	bcfg := cfg
+	bcfg.Backend = dp.BackendThreaded
+	alien, err := NewSystem(res.Kernel, res.Datapath, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = pool.Stats()
+	pool.Put(alien)
+	after = pool.Stats()
+	if after.Rejected != before.Rejected+1 {
+		t.Fatalf("threaded System admitted into an interp pool (rejected %d -> %d)", before.Rejected, after.Rejected)
+	}
+	if after.Puts != before.Puts {
+		t.Fatalf("backend-mismatched Put also counted as accepted (puts %d -> %d)", before.Puts, after.Puts)
 	}
 }

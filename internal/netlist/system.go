@@ -286,6 +286,11 @@ type Config struct {
 	// benchmarks. Both paths are bit-identical on outputs, feedback
 	// latches, cycle counts and fault abort cycles.
 	Serial bool
+	// Backend selects the data-path execution backend (interp, threaded,
+	// cone). The zero value is the interpreter reference; every backend
+	// is bit-identical on outputs, feedback latches, cycle counts and
+	// fault abort cycles.
+	Backend dp.Backend
 }
 
 // NewSystem builds the full system for a compiled kernel.
@@ -305,7 +310,7 @@ func NewSystem(k *hir.Kernel, d *dp.Datapath, cfg Config) (*System, error) {
 		Datapath: d,
 		BusElems: cfg.BusElems,
 		plan:     plan,
-		sim:      dp.NewSim(d),
+		sim:      dp.NewSimWith(d, cfg.Backend),
 		inBRAMs:  map[string]*BRAM{},
 		outBRAMs: map[string]*BRAM{},
 		inputs:   make([]int64, len(d.Inputs)),
@@ -395,6 +400,10 @@ func (s *System) OutputInto(name string, dst []int64) error {
 
 // Cycles returns the clock cycles consumed by Run.
 func (s *System) Cycles() int { return s.cycles }
+
+// Backend returns the data-path execution backend this system was
+// built with.
+func (s *System) Backend() dp.Backend { return s.sim.Backend() }
 
 // BatchedCycles returns how many of Run's cycles were dispatched
 // through the streak-batched path (StepN chunks and the DrainN tail);

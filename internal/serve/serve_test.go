@@ -501,3 +501,75 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("Local request succeeded after Shutdown")
 	}
 }
+
+// TestServeBackendSelection: the server inherits the execution backend
+// per registered kernel through KernelSpec.Config — the same source
+// registered on different backends must serve bit-identical outputs,
+// cycle counts and feedback values, and each entry's pool must build
+// Systems on its own backend.
+func TestServeBackendSelection(t *testing.T) {
+	srv := NewServer(2)
+	for _, b := range dp.Backends() {
+		for _, spec := range []KernelSpec{
+			{Name: "fir-" + b.String(), Source: firSource, Func: "fir", Options: core.DefaultOptions(),
+				Config: netlist.Config{BusElems: 1, Backend: b}},
+			{Name: "accum-" + b.String(), Source: accumSource, Func: "accum", Options: core.DefaultOptions(),
+				Config: netlist.Config{BusElems: 1, Backend: b}},
+		} {
+			if err := srv.Register(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	local := srv.Local()
+
+	fin := firStream(97)["A"]
+	ain := make([]int64, 32)
+	for i := range ain {
+		ain[i] = int64(i*13 - 200)
+	}
+	type got struct {
+		out      []int64
+		cycles   int
+		feedback int64
+	}
+	results := map[string]got{}
+	for _, b := range dp.Backends() {
+		fjobs := []netlist.Job{{Inputs: map[string][]int64{"A": fin}}}
+		if err := local.Run("fir-"+b.String(), fjobs); err != nil {
+			t.Fatalf("[%v] fir: %v", b, err)
+		}
+		ajobs := []netlist.Job{{Inputs: map[string][]int64{"A": ain}}}
+		if err := local.Run("accum-"+b.String(), ajobs); err != nil {
+			t.Fatalf("[%v] accum: %v", b, err)
+		}
+		results[b.String()] = got{
+			out:      fjobs[0].Outputs["C"],
+			cycles:   fjobs[0].Cycles,
+			feedback: ajobs[0].Feedbacks["sum"],
+		}
+	}
+	ref := results[dp.BackendInterp.String()]
+	for _, b := range dp.Backends()[1:] {
+		r := results[b.String()]
+		if r.cycles != ref.cycles {
+			t.Fatalf("[%v] fir cycles %d, interp %d", b, r.cycles, ref.cycles)
+		}
+		if len(r.out) != len(ref.out) {
+			t.Fatalf("[%v] fir output length %d, interp %d", b, len(r.out), len(ref.out))
+		}
+		for j := range ref.out {
+			if r.out[j] != ref.out[j] {
+				t.Fatalf("[%v] fir C[%d] = %d, interp %d", b, j, r.out[j], ref.out[j])
+			}
+		}
+		if r.feedback != ref.feedback {
+			t.Fatalf("[%v] accum sum = %d, interp %d", b, r.feedback, ref.feedback)
+		}
+	}
+}

@@ -57,6 +57,22 @@ type System = netlist.System
 // SystemConfig configures system construction.
 type SystemConfig = netlist.Config
 
+// Backend selects the data-path execution backend
+// (SystemConfig.Backend): the interpreter reference, the threaded
+// per-kernel compiled code, or the closed-form feedback-cone ablation.
+// All backends are bit-identical; they differ only in host speed.
+type Backend = dp.Backend
+
+// The available execution backends. BackendInterp is the zero value.
+const (
+	BackendInterp   = dp.BackendInterp
+	BackendThreaded = dp.BackendThreaded
+	BackendCone     = dp.BackendCone
+)
+
+// ParseBackend parses a backend name: "interp", "threaded" or "cone".
+func ParseBackend(s string) (Backend, error) { return dp.ParseBackend(s) }
+
 // Sim is the cycle-accurate data-path simulator (the compiled,
 // allocation-free core).
 type Sim = dp.Sim
