@@ -1,0 +1,12 @@
+/* Streaming accumulator: the canonical closed-form feedback cone.
+ * Stresses plan/cone-grammar, plan/batch-partition (class B holds the
+ * whole cone), system/harvest-ring and system/need-clear. */
+int A[48];
+int sum;
+void k() {
+	int i;
+	sum = 0;
+	for (i = 0; i < 48; i++) {
+		sum = sum + A[i];
+	}
+}

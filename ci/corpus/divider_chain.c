@@ -1,0 +1,9 @@
+/* Division by a runtime operand expands into the deepest pipeline the
+ * compiler builds: stresses plan/geometry (large history rings),
+ * plan/ring-need and plan/worklist on many-stage plans. */
+void k(int x0, int x1, int x2, int* o0) {
+	int q; int r;
+	q = x0 / (x1 | 1);
+	r = q + x2 / ((x0 & 7) | 1);
+	*o0 = r - q;
+}

@@ -1,0 +1,18 @@
+/* Conditional assignment lowered to a mux over narrow types: stresses
+ * plan/wrap-congruence on int12 arithmetic and the mux arm of the
+ * feedback-cone grammar when combined with an accumulator. */
+int A[24];
+int acc;
+void k() {
+	int i;
+	int12 v;
+	acc = 0;
+	for (i = 0; i < 24; i++) {
+		v = A[i];
+		if (v > 100) {
+			acc = acc + 100;
+		} else {
+			acc = acc + v;
+		}
+	}
+}

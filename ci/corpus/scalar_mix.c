@@ -1,0 +1,13 @@
+/* Scalar pipeline mixing widths, shifts and comparisons: stresses
+ * plan/wrap-congruence (narrow intermediates force single and double
+ * wraps) and plan/ring-offset (reconvergent operands cross stages). */
+void k(int x0, int x1, int x2, int* o0, int* o1) {
+	int a; int b; int c;
+	uint8 n;
+	a = (x0 << 3) - x1;
+	n = x2 + a;
+	b = (n > 19) + (x0 == x1);
+	c = a * b + (x2 >> 2);
+	*o0 = c + n;
+	*o1 = a - c;
+}

@@ -1,0 +1,11 @@
+/* 2-D cross stencil: the two-dimensional smart-buffer span formula
+ * ((rows-1)*rowlen + cols) and a two-level odometer. Stresses
+ * buffer/capacity, system/nest and system/routing on 2-D windows. */
+int img[10][10];
+int out[10][10];
+void k() {
+	int i; int j;
+	for (i = 1; i < 9; i++)
+		for (j = 1; j < 9; j++)
+			out[i][j] = img[i-1][j] + img[i+1][j] + img[i][j-1] + img[i][j+1] - 4*img[i][j];
+}

@@ -1,0 +1,11 @@
+/* 1-D sliding window with a 5-tap reuse pattern: stresses
+ * buffer/capacity (span + bus elements exactly), system/routing (tap
+ * to input-port table) and vhdl/file-set (smart buffer + addrgen). */
+int A[36];
+int C[32];
+void k() {
+	int i;
+	for (i = 0; i < 32; i = i + 1) {
+		C[i] = 2*A[i] - 3*A[i+1] + A[i+2] + 5*A[i+3] - A[i+4];
+	}
+}

@@ -41,14 +41,20 @@ type GateFile struct {
 	Groups []Group `json:"groups"`
 }
 
-// Group is one benchmark run and the gates evaluated on it.
+// Group is one benchmark run (or one command run) and the gates
+// evaluated on it.
 type Group struct {
 	Name string `json:"name"`
 	// Bench is the -bench regexp; Benchtime the -benchtime value
 	// (iteration counts like "200x" keep CI deterministic).
 	Bench     string `json:"bench"`
 	Benchtime string `json:"benchtime"`
-	Gates     []Gate `json:"gates"`
+	// Cmd, when set, replaces the benchmark invocation with an
+	// arbitrary command (argv form). The command's output must carry a
+	// summary line with "<n> violations" and a "<x.xx>s" elapsed time —
+	// cmd/rocccvet's format — which MaxViolations/MaxSeconds gate.
+	Cmd   []string `json:"cmd,omitempty"`
+	Gates []Gate   `json:"gates"`
 }
 
 // Gate is one assertion over a benchmark's results. Exactly one of the
@@ -69,6 +75,11 @@ type Gate struct {
 	// Speedups are CPU-conditioned floors: the rule with the largest
 	// MinCPUs <= the runner's CPU count applies.
 	Speedups []SpeedupRule `json:"speedups,omitempty"`
+	// MaxViolations caps the violation count a Cmd group's summary
+	// reports (static verification gates use 0).
+	MaxViolations *int64 `json:"max_violations,omitempty"`
+	// MaxSeconds caps the elapsed seconds the Cmd summary reports.
+	MaxSeconds *float64 `json:"max_seconds,omitempty"`
 }
 
 // SpeedupRule is one CPU-count-conditional speedup floor.
@@ -112,6 +123,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "write a BENCH trajectory JSON to this path ('auto' derives BENCH_<sha>.json)")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json trajectory to diff the fresh results against (informational)")
 		cpus      = flag.Int("cpus", runtime.NumCPU(), "CPU count used to select speedup rules")
+		group     = flag.String("group", "", "run only the named gate group (default: all)")
 		verbose   = flag.Bool("v", false, "echo raw benchmark output")
 	)
 	flag.Parse()
@@ -127,10 +139,33 @@ func main() {
 	if gf.Pkg == "" {
 		gf.Pkg = "."
 	}
+	if *group != "" {
+		var kept []Group
+		for _, g := range gf.Groups {
+			if g.Name == *group {
+				kept = append(kept, g)
+			}
+		}
+		if len(kept) == 0 {
+			fatal(fmt.Errorf("no gate group named %q in %s", *group, *gatesPath))
+		}
+		gf.Groups = kept
+	}
 
 	results := map[string]Result{}
 	var ordered []Result
+	var cmdVerdicts []Verdict
 	for _, g := range gf.Groups {
+		if len(g.Cmd) > 0 {
+			vs, r, out := runCmdGroup(g)
+			if *verbose || !allOK(vs) {
+				fmt.Print(out)
+			}
+			cmdVerdicts = append(cmdVerdicts, vs...)
+			results[r.Name] = r
+			ordered = append(ordered, r)
+			continue
+		}
 		out, err := runGroup(gf.Pkg, g)
 		if *verbose || err != nil {
 			fmt.Print(out)
@@ -144,7 +179,7 @@ func main() {
 		}
 	}
 
-	verdicts := evaluate(gf, results, *cpus)
+	verdicts := append(evaluate(gf, results, *cpus), cmdVerdicts...)
 	fmt.Print(formatVerdicts(verdicts, *cpus))
 
 	if *baseline != "" {
@@ -206,6 +241,77 @@ func runGroup(pkg string, g Group) (string, error) {
 	return string(out), err
 }
 
+// cmdSummary matches a verifier summary line: "... <n> violations ...
+// <x.xx>s" — cmd/rocccvet's last line. The elapsed time is the tool's
+// self-reported one, so the gate is independent of go-run build time.
+var cmdSummary = regexp.MustCompile(`(\d+) violations.*?([0-9]+(?:\.[0-9]+)?)s`)
+
+// runCmdGroup executes one Cmd group, parses its violation summary and
+// evaluates the group's MaxViolations/MaxSeconds gates. A command that
+// exits nonzero is not fatal by itself: the summary decides the
+// verdicts, and a run with no parseable summary fails every gate.
+func runCmdGroup(g Group) ([]Verdict, Result, string) {
+	cmd := exec.Command(g.Cmd[0], g.Cmd[1:]...)
+	outBytes, runErr := cmd.CombinedOutput()
+	out := string(outBytes)
+
+	var violations float64
+	var seconds float64
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if m := cmdSummary.FindStringSubmatch(line); m != nil {
+			violations, _ = strconv.ParseFloat(m[1], 64)
+			seconds, _ = strconv.ParseFloat(m[2], 64)
+			found = true
+		}
+	}
+
+	var vs []Verdict
+	for _, gate := range g.Gates {
+		bench := gate.Bench
+		if bench == "" {
+			bench = strings.Join(g.Cmd, " ")
+		}
+		if gate.MaxViolations != nil {
+			v := Verdict{Group: g.Name, Bench: bench, Check: "violations",
+				Observed: violations, Bound: float64(*gate.MaxViolations)}
+			v.OK = found && int64(violations) <= *gate.MaxViolations
+			if !found {
+				v.Detail = noSummaryDetail(runErr)
+			}
+			vs = append(vs, v)
+		}
+		if gate.MaxSeconds != nil {
+			v := Verdict{Group: g.Name, Bench: bench, Check: "seconds",
+				Observed: seconds, Bound: *gate.MaxSeconds}
+			v.OK = found && seconds <= *gate.MaxSeconds
+			if !found {
+				v.Detail = noSummaryDetail(runErr)
+			}
+			vs = append(vs, v)
+		}
+	}
+	r := Result{Name: "cmd:" + g.Name,
+		Metrics: map[string]float64{"violations": violations, "seconds": seconds}}
+	return vs, r, out
+}
+
+func noSummaryDetail(runErr error) string {
+	if runErr != nil {
+		return fmt.Sprintf("no violations summary in output (%v)", runErr)
+	}
+	return "no violations summary in output"
+}
+
+func allOK(vs []Verdict) bool {
+	for _, v := range vs {
+		if !v.OK {
+			return false
+		}
+	}
+	return true
+}
+
 // benchLine matches one `go test -bench` result line.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
@@ -259,6 +365,9 @@ func pickSpeedup(rules []SpeedupRule, cpus int) (SpeedupRule, bool) {
 func evaluate(gf GateFile, results map[string]Result, cpus int) []Verdict {
 	var out []Verdict
 	for _, g := range gf.Groups {
+		if len(g.Cmd) > 0 {
+			continue // gated by runCmdGroup
+		}
 		for _, gate := range g.Gates {
 			r, ok := results[gate.Bench]
 			if !ok {

@@ -184,3 +184,78 @@ func TestPickSpeedup(t *testing.T) {
 		t.Error("uncovered CPU count must report no rule")
 	}
 }
+
+func TestRunCmdGroupParsesSummary(t *testing.T) {
+	zero := int64(0)
+	five := 5.0
+	g := Group{
+		Name: "static",
+		Cmd:  []string{"echo", "rocccvet: 45 kernel-backend pairs, 0 violations, 0 broken, 0.02s"},
+		Gates: []Gate{
+			{Bench: "rocccvet", MaxViolations: &zero, MaxSeconds: &five},
+		},
+	}
+	vs, r, _ := runCmdGroup(g)
+	if len(vs) != 2 {
+		t.Fatalf("got %d verdicts, want 2", len(vs))
+	}
+	for _, v := range vs {
+		if !v.OK {
+			t.Errorf("%s gate failed: %+v", v.Check, v)
+		}
+	}
+	if r.Name != "cmd:static" || r.Metrics["violations"] != 0 || r.Metrics["seconds"] != 0.02 {
+		t.Errorf("bad trajectory result: %+v", r)
+	}
+}
+
+func TestRunCmdGroupFailsOnViolations(t *testing.T) {
+	zero := int64(0)
+	g := Group{
+		Name:  "static",
+		Cmd:   []string{"echo", "rocccvet: 45 kernel-backend pairs, 3 violations, 0 broken, 0.10s"},
+		Gates: []Gate{{Bench: "rocccvet", MaxViolations: &zero}},
+	}
+	vs, _, _ := runCmdGroup(g)
+	if len(vs) != 1 || vs[0].OK {
+		t.Fatalf("3 violations against a 0 bound must fail: %+v", vs)
+	}
+	if vs[0].Observed != 3 {
+		t.Errorf("observed = %v, want 3", vs[0].Observed)
+	}
+}
+
+func TestRunCmdGroupFailsWithoutSummary(t *testing.T) {
+	zero := int64(0)
+	five := 5.0
+	g := Group{
+		Name:  "static",
+		Cmd:   []string{"echo", "no summary here"},
+		Gates: []Gate{{Bench: "rocccvet", MaxViolations: &zero, MaxSeconds: &five}},
+	}
+	vs, _, _ := runCmdGroup(g)
+	if len(vs) != 2 {
+		t.Fatalf("got %d verdicts, want 2", len(vs))
+	}
+	for _, v := range vs {
+		if v.OK {
+			t.Errorf("gate %s passed without a summary line", v.Check)
+		}
+		if !strings.Contains(v.Detail, "no violations summary") {
+			t.Errorf("gate %s detail = %q", v.Check, v.Detail)
+		}
+	}
+}
+
+func TestRunCmdGroupSecondsBound(t *testing.T) {
+	limit := 0.01
+	g := Group{
+		Name:  "static",
+		Cmd:   []string{"echo", "rocccvet: 45 kernel-backend pairs, 0 violations, 0 broken, 4.20s"},
+		Gates: []Gate{{Bench: "rocccvet", MaxSeconds: &limit}},
+	}
+	vs, _, _ := runCmdGroup(g)
+	if len(vs) != 1 || vs[0].OK {
+		t.Fatalf("4.20s against a 0.01s bound must fail: %+v", vs)
+	}
+}

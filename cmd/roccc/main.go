@@ -34,6 +34,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Misused flags exit through usage with a message, never through a
+	// downstream panic or a silently degenerate compile: a non-positive
+	// period has no achievable clock, a non-positive bus sizes
+	// zero-length buffers, and a negative unroll factor is meaningless
+	// (0 means "do not partially unroll").
+	if *period <= 0 {
+		fmt.Fprintf(os.Stderr, "roccc: -period must be a positive clock period in ns (got %v)\n", *period)
+		os.Exit(2)
+	}
+	if *bus < 1 {
+		fmt.Fprintf(os.Stderr, "roccc: -bus must be at least 1 element (got %d)\n", *bus)
+		os.Exit(2)
+	}
+	if *unroll < 0 {
+		fmt.Fprintf(os.Stderr, "roccc: -unroll must be >= 0 (got %d); use -unrollall for full unrolling\n", *unroll)
+		os.Exit(2)
+	}
+	if *unroll > 0 && *unrollAll {
+		fmt.Fprintln(os.Stderr, "roccc: -unroll and -unrollall are mutually exclusive")
+		os.Exit(2)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)

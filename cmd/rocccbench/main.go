@@ -35,6 +35,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "rocccbench: -workers must be >= 0 (0 = GOMAXPROCS)")
+		flag.Usage()
+		os.Exit(2)
+	}
 	backend, err := dp.ParseBackend(*backendF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rocccbench:", err)

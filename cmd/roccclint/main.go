@@ -1,0 +1,69 @@
+// roccclint runs the repo's Go-level contract analyzers over the
+// module: hotpathalloc (no per-cycle allocation in //roccc:hotpath
+// code), replaycontract (batch faults must reach the serial replay) and
+// poolhygiene (every SystemPool.Get paired with a Put or an escape).
+// It is built only on the standard library's go/ast and go/types — no
+// toolchain fork-out, no network — and exits nonzero on any finding.
+//
+// Usage: roccclint [-root dir] [packages...], defaulting to ./... of
+// the enclosing module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"roccc/internal/lint"
+)
+
+func main() {
+	rootFlag := flag.String("root", "", "module root (default: ascend from the working directory to go.mod)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roccclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	diags, npkgs, err := lint.Run(root, patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roccclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("roccclint: %d findings in %d packages\n", len(diags), npkgs)
+		os.Exit(1)
+	}
+	fmt.Printf("roccclint: %d packages clean\n", npkgs)
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -43,6 +43,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *workers < 0 || *maxIdle < 0 || *grace <= 0 {
+		fmt.Fprintln(os.Stderr, "rocccserve: -workers and -max-idle must be >= 0 (0 = default), -grace must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
 	backend, err := dp.ParseBackend(*backendF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rocccserve:", err)

@@ -35,6 +35,8 @@ func (g *ReadGen) Next() []int {
 // NextInto is Next writing into a caller-provided buffer of at least
 // BusElems capacity (so a cycle loop does not allocate); it returns the
 // filled prefix of dst, or nil once exhausted.
+//
+//roccc:hotpath
 func (g *ReadGen) NextInto(dst []int) []int {
 	if g.pos >= g.Total {
 		return nil
@@ -55,6 +57,8 @@ func (g *ReadGen) NextInto(dst []int) []int {
 // address and length of the next bus word (length 0 once exhausted), so
 // the memory stage can fetch a BRAM range with one bounds check instead
 // of an address-array round trip.
+//
+//roccc:hotpath
 func (g *ReadGen) NextRange() (start, n int) {
 	if g.pos >= g.Total {
 		return 0, 0
@@ -148,6 +152,8 @@ func (g *WriteGen) Next() []int {
 // NextInto is Next writing into a caller-provided buffer of at least
 // len(acc.Elems) capacity (so a cycle loop does not allocate); it
 // returns the filled prefix of dst, or nil when the nest is exhausted.
+//
+//roccc:hotpath
 func (g *WriteGen) NextInto(dst []int) []int {
 	if g.done {
 		return nil
@@ -260,6 +266,8 @@ func (c *Controller) Collected() int { return c.done }
 // is a pipeline bubble. Output collection timing is owned by the
 // cycle-accurate system model (package netlist), which calls Collect for
 // every harvested iteration.
+//
+//roccc:hotpath
 func (c *Controller) Tick(windowReady bool) (feed bool) {
 	switch c.state {
 	case Idle:
@@ -284,6 +292,8 @@ func (c *Controller) Tick(windowReady bool) (feed bool) {
 // that have proven the whole streak (netlist's streak-batched Run). It
 // returns false (admitting nothing) if n is not positive or the FSM
 // could not feed n more iterations.
+//
+//roccc:hotpath
 func (c *Controller) TickFeedN(n int) bool {
 	if n <= 0 {
 		return false
@@ -305,6 +315,8 @@ func (c *Controller) TickFeedN(n int) bool {
 
 // Collect records one completed iteration; when all iterations have
 // completed the FSM reaches its final state.
+//
+//roccc:hotpath
 func (c *Controller) Collect() {
 	c.done++
 	if c.done >= c.TotalIters && (c.state == Drain || c.fed >= c.TotalIters) {

@@ -203,6 +203,8 @@ func recognizeCone(p *simPlan) *coneSpec {
 // returned error is always nil in practice). The final latch value
 // lands in batchState, which commitChunk copies out exactly as for the
 // lane-serial cone.
+//
+//roccc:hotpath
 func (s *Sim) runCone(cs *coneSpec, n int, lanes []int64, lv []bool, laneN int, fns []laneFn) error {
 	p := s.p
 	st := s.batchState[:len(s.state)]

@@ -79,6 +79,8 @@ func compileThreadPlan(p *simPlan) *threadPlan {
 // rotation, poison propagation, input wrapping), latch commit and
 // output alignment as the interpreter loop, with the op walk dispatched
 // through the compiled closure array.
+//
+//roccc:hotpath
 func (s *Sim) stepThreaded(inputs []int64, valid bool) ([]int64, error) {
 	if len(inputs) != len(s.p.inSlots) {
 		return nil, fmt.Errorf("dp: sim: %d inputs, want %d", len(inputs), len(s.p.inSlots))
@@ -139,6 +141,8 @@ func (s *Sim) stepThreaded(inputs []int64, valid bool) ([]int64, error) {
 // inference only narrows) get operand-layout specializations with bases
 // and shifts captured; everything else gets a monomorphic closure per
 // opcode that still skips the switch and descriptor loads.
+//
+//roccc:hotpath-closures
 func compileStepFn(c *cop) stepFn {
 	op := *c
 	slot := int(op.slot)
@@ -334,6 +338,8 @@ func compileStepFn(c *cop) stepFn {
 // compileArithStep specializes a single-wrap ADD/SUB/MUL per operand
 // layout: the ring bases, stage offsets, immediates and the fused wrap
 // are captured constants, so the closure body is the bare arithmetic.
+//
+//roccc:hotpath-closures
 func compileArithStep(op cop, slot int) stepFn {
 	fw := op.fw
 	ab, ao := int(op.a.base), int(op.a.off)
@@ -446,6 +452,8 @@ func (o thAcc) at(lanes []int64, i int) int64 {
 }
 
 // runLaneFns executes one compiled op class over the chunk.
+//
+//roccc:hotpath
 func runLaneFns(fns []laneFn, lanes []int64, lv []bool, n int) bool {
 	for _, fn := range fns {
 		if !fn(lanes, lv, n) {
@@ -469,6 +477,8 @@ func compileLaneFns(p *simPlan, ops []cop, laneN int) []laneFn {
 // choice. Semantics mirror batchOps case for case (raw compute over the
 // active lanes, then the precompiled wrap pass), so the kernels stay
 // bit-identical to the interpreter batch path.
+//
+//roccc:hotpath-closures
 func compileLaneFn(p *simPlan, c *cop, laneN int) laneFn {
 	op := *c
 	k0 := p.stages - int(op.stage)

@@ -50,6 +50,8 @@ var errBatchFault = errors.New("dp: sim: batch lane fault")
 // values. On a fault (e.g. division by zero on a valid iteration) the
 // faulting cycle is aborted exactly as Step aborts it: every cycle
 // before it has committed, and the error is Step's error.
+//
+//roccc:hotpath
 func (s *Sim) StepN(inputs []int64, n int) ([]int64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("dp: sim: StepN with negative count %d", n)
@@ -66,6 +68,8 @@ func (s *Sim) StepN(inputs []int64, n int) ([]int64, error) {
 // bits, faults in bubble lanes are masked and bubbles never commit
 // feedback latches. The returned slice holds n output rows and is
 // reused between calls.
+//
+//roccc:hotpath
 func (s *Sim) DrainN(n int) ([]int64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("dp: sim: DrainN with negative count %d", n)
@@ -119,6 +123,8 @@ func (s *Sim) RunBatch(iters [][]int64) ([][]int64, error) {
 }
 
 // batchRun splits an n-clock batch into scratch-bounded chunks.
+//
+//roccc:hotpath
 func (s *Sim) batchRun(inputs []int64, n int, valid bool) ([]int64, error) {
 	outW := len(s.p.outSlots)
 	inW := len(s.p.inSlots)
@@ -148,6 +154,9 @@ func (s *Sim) batchRun(inputs []int64, n int, valid bool) ([]int64, error) {
 // interpreter step regardless of backend: fault replays go straight to
 // the canonical loop instead of re-entering the threaded step only to
 // fall back again on the faulting cycle.
+//
+//roccc:hotpath
+//roccc:serial-replay
 func (s *Sim) serialChunk(in []int64, n int, valid bool, out []int64, interpOnly bool) error {
 	inW := len(s.p.inSlots)
 	outW := len(s.p.outSlots)
@@ -174,6 +183,8 @@ func (s *Sim) serialChunk(in []int64, n int, valid bool, out []int64, interpOnly
 // batchChunk executes one chunk of up to batchChunkMax clocks on the
 // lane layout, committing ring, valid ring, feedback state, cycle count
 // and outputs only after the whole chunk has computed fault-free.
+//
+//roccc:hotpath
 func (s *Sim) batchChunk(in []int64, n int, valid bool, out []int64) error {
 	p := s.p
 	// Resolve the backend's compiled artifacts up front: the threaded
@@ -225,6 +236,9 @@ func (s *Sim) batchChunk(in []int64, n int, valid bool, out []int64) error {
 // the ring, batch input rows, then the three execution classes — each
 // class dispatched through the backend's artifacts when present (tp for
 // threaded lane kernels, cone for the closed-form feedback cone).
+//
+//roccc:hotpath
+//roccc:chunk-compute
 func (s *Sim) batchCompute(in []int64, n int, valid bool, lanes []int64, lv []bool, laneN int, tp *threadPlan, cone *coneSpec) error {
 	p := s.p
 	stages := p.stages
@@ -334,6 +348,7 @@ type laneCtx struct {
 	sh    uint
 }
 
+//roccc:hotpath
 func (c *laneCtx) get(o *cOperand, k int) int64 {
 	if !o.ring {
 		return o.imm
@@ -370,6 +385,8 @@ func (c *laneCtx) operand(o *cOperand) laneOperand {
 // iterations whose st-stage cycle falls inside this chunk — lanes
 // [stages-st, stages-st+n); earlier lanes were seeded, later ones
 // belong to a later chunk.
+//
+//roccc:hotpath
 func (s *Sim) batchOps(ops []cop, n int, lanes []int64, lv []bool, laneN int) error {
 	p := s.p
 	stages := p.stages
@@ -678,6 +695,8 @@ func fusedFill(d []int64, v int64, w wrapSpec) {
 // full semantic-then-hardware pair (bit-identical to step's
 // op.hw.wrap(op.tw.wrap(v)) in every mode — a zero raw value, as a
 // poisoned divide leaves behind, wraps to zero in all of them).
+//
+//roccc:hotpath
 func wrapLanes(d []int64, op *cop) {
 	switch op.wmode {
 	case wrapNone:
@@ -706,6 +725,8 @@ func wrapLanes(d []int64, op *cop) {
 // at the end of the lane the staged writes commit, exactly as the
 // serial clock edge commits them — each latch is touched by exactly one
 // iteration per cycle, so per-lane order is per-cycle order.
+//
+//roccc:hotpath
 func (s *Sim) batchCone(ops []cop, n int, lanes []int64, lv []bool, laneN int) error {
 	p := s.p
 	stages := p.stages
@@ -830,6 +851,8 @@ func (s *Sim) batchCone(ops []cop, n int, lanes []int64, lv []bool, laneN int) e
 // commitChunk applies a fault-free chunk to the simulator state: ring
 // history (the last rdepth cycles of every op and input), valid ring,
 // feedback latches, cycle count, head, and the chunk's output rows.
+//
+//roccc:hotpath
 func (s *Sim) commitChunk(n int, valid bool, lanes []int64, laneN int, out []int64) {
 	p := s.p
 	stages := p.stages

@@ -389,6 +389,7 @@ func compileSimPlan(d *Datapath) *simPlan {
 		p.commits = append(p.commits, e)
 	}
 	p.partitionBatch()
+	planVerifyHook(p, d)
 	return p
 }
 
@@ -535,6 +536,8 @@ func (s *Sim) FeedbackByName(name string) (int64, bool) {
 // values visible after this clock edge — they belong to the iteration
 // admitted Latency() cycles earlier. The slice is reused between calls;
 // copy it to retain values across Steps.
+//
+//roccc:hotpath
 func (s *Sim) Step(inputs []int64) ([]int64, error) {
 	return s.step(inputs, true)
 }
@@ -549,11 +552,15 @@ func (s *Sim) Step(inputs []int64) ([]int64, error) {
 // (Fig. 2 drain). A fault is raised only when the stage's occupant is a
 // valid iteration. Like Step, the returned slice is reused between
 // calls.
+//
+//roccc:hotpath
 func (s *Sim) Drain() ([]int64, error) {
 	return s.step(s.zeroBuf, false)
 }
 
 // fetch reads one pre-resolved operand.
+//
+//roccc:hotpath
 func (s *Sim) fetch(o *cOperand) int64 {
 	if !o.ring {
 		return o.imm
@@ -566,6 +573,8 @@ func (s *Sim) fetch(o *cOperand) int64 {
 // once the next attempt rotates back onto it) and staged feedback
 // writes are dropped, so an errored step leaves the pipeline exactly as
 // it was before the call.
+//
+//roccc:hotpath
 func (s *Sim) abort(prevHead int) {
 	s.head = prevHead
 	for i := range s.stagedSet {
@@ -577,6 +586,8 @@ func (s *Sim) abort(prevHead int) {
 // threaded backend runs the plan's compiled closure array; everything
 // else (including BackendCone, whose specialization only concerns the
 // batch path) takes the interpreter loop.
+//
+//roccc:hotpath
 func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 	if s.backend == BackendThreaded {
 		return s.stepThreaded(inputs, valid)
@@ -584,6 +595,7 @@ func (s *Sim) step(inputs []int64, valid bool) ([]int64, error) {
 	return s.stepInterp(inputs, valid)
 }
 
+//roccc:hotpath
 func (s *Sim) stepInterp(inputs []int64, valid bool) ([]int64, error) {
 	if len(inputs) != len(s.p.inSlots) {
 		return nil, fmt.Errorf("dp: sim: %d inputs, want %d", len(inputs), len(s.p.inSlots))

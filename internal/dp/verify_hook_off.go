@@ -1,0 +1,8 @@
+//go:build !dpverify
+
+package dp
+
+// planVerifyHook is a no-op in default builds; `-tags dpverify` swaps
+// in the verifying hook (verify_hook_on.go), so -race and soak CI runs
+// statically check every plan they compile.
+func planVerifyHook(p *simPlan, d *Datapath) {}

@@ -1,0 +1,23 @@
+//go:build dpverify
+
+package dp
+
+import "strings"
+
+// planVerifyHook runs the static plan verifier at plan-compile time and
+// panics on any violation: under `-tags dpverify` a malformed plan can
+// never reach a Step. CI's -race and soak jobs build with the tag, so
+// every kernel they compile — Table 1, fuzz-generated, service traffic
+// — carries the verifier for free.
+func planVerifyHook(p *simPlan, d *Datapath) {
+	vs := verifyPlan(p)
+	vs = append(vs, verifyPlanDatapath(p, d)...)
+	if len(vs) == 0 {
+		return
+	}
+	msgs := make([]string, len(vs))
+	for i, v := range vs {
+		msgs[i] = v.String()
+	}
+	panic("dpverify: " + d.Name + ": " + strings.Join(msgs, "; "))
+}

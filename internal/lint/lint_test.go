@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"roccc/internal/lint"
+	"roccc/internal/lint/linttest"
+)
+
+func newLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ldr
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	linttest.RunFixture(t, newLoader(t), "testdata/hotpath", lint.HotPathAlloc)
+}
+
+func TestReplayContractFixture(t *testing.T) {
+	linttest.RunFixture(t, newLoader(t), "testdata/replay", lint.ReplayContract)
+}
+
+func TestPoolHygieneFixture(t *testing.T) {
+	linttest.RunFixture(t, newLoader(t), "testdata/pool", lint.PoolHygiene)
+}
+
+// TestTreeClean runs every analyzer over the whole module — the same
+// run CI's lint job performs via cmd/roccclint. The tree carries the
+// //roccc:hotpath and replay/pool markers, so this proves the real
+// hot paths satisfy the contracts, not just the fixtures.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module (stdlib from source)")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, npkgs, err := lint.Run(root, []string{"./..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if npkgs == 0 {
+		t.Fatal("no packages matched ./...")
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestExpandPatterns pins the loader's pattern grammar.
+func TestExpandPatterns(t *testing.T) {
+	ldr := newLoader(t)
+	paths, err := ldr.Expand([]string{"./internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"roccc/internal/lint":          false,
+		"roccc/internal/lint/linttest": false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; !ok {
+			t.Errorf("unexpected package %s (testdata must not match)", p)
+		} else {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("pattern missed %s", p)
+		}
+	}
+}

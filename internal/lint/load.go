@@ -1,0 +1,250 @@
+package lint
+
+// load.go is the package loader behind the analyzers: a minimal,
+// module-aware stand-in for go/packages. It resolves imports under the
+// repo's module path to directories, honors //go:build constraints via
+// go/build (so mutually exclusive files like the dpverify hooks never
+// collide), excludes _test.go files, and delegates standard-library
+// imports to the compiler's source importer — no toolchain invocation,
+// no network, no module cache.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package.
+type Package struct {
+	Path  string // import path (or fixture:<dir> for LoadDir)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader loads packages of a single module rooted at Root, memoizing
+// by import path. It implements types.Importer.
+type Loader struct {
+	Root   string
+	Module string
+	Fset   *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at root (the
+// directory holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s is not a module root: %w", root, err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  module,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Import implements types.Importer: module-local paths load from the
+// tree, everything else (the standard library) comes from the source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load loads a package of this module by import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")))
+	l.loading[path] = true
+	pkg, err := l.loadDir(path, dir)
+	delete(l.loading, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir loads a standalone directory (a lint fixture) that is not
+// part of the module; its imports must resolve via the loader as usual.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	return l.loadDir("fixture:"+filepath.Base(dir), dir)
+}
+
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// MatchFile applies //go:build constraints with the default
+		// (empty) tag set: of the dpverify on/off hook pair exactly one
+		// side loads, as in a plain `go build`.
+		ok, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, name), err)
+		}
+		if !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no buildable Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Expand turns command-line patterns into module import paths. "..."
+// wildcards walk the tree; testdata and hidden directories never match.
+// Bare paths may be module-relative ("./internal/dp", "internal/dp") or
+// full import paths ("roccc/internal/dp").
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." {
+			pat = "./..."
+		}
+		if suf, ok := strings.CutSuffix(pat, "/..."); ok {
+			base := strings.TrimPrefix(strings.TrimPrefix(suf, l.Module), "/")
+			root := filepath.Join(l.Root, filepath.FromSlash(base))
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if !l.hasGoFiles(p) {
+					return nil
+				}
+				rel, err := filepath.Rel(l.Root, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					add(l.Module)
+				} else {
+					add(l.Module + "/" + filepath.ToSlash(rel))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if pat == "" || pat == "." {
+			add(l.Module)
+			continue
+		}
+		if pat == l.Module || strings.HasPrefix(pat, l.Module+"/") {
+			add(pat)
+			continue
+		}
+		add(l.Module + "/" + filepath.ToSlash(pat))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package lint
+
+// replaycontract enforces the batch execution path's fault contract:
+// the lane-parallel chunk computation commits nothing until it has run
+// fault-free, so any caller of the chunk computation must, on its error
+// branch, fall back to the serial replay — that is what makes a batch
+// fault bit-identical to the serial core's abort (same cycle, same
+// error, same state).
+//
+// Two directives mark the protocol's endpoints:
+//
+//	//roccc:chunk-compute — the speculative, nothing-committed computation
+//	//roccc:serial-replay — the serial fallback that reproduces the abort
+//
+// Every call to a chunk-compute function must appear as the error
+// source of an if-guard whose body calls a serial-replay function:
+//
+//	if err := s.batchCompute(...); err != nil { ...; return s.serialChunk(...) }
+//	err := s.batchCompute(...)        // or assign-then-if
+//	if err != nil { ... s.serialChunk(...) ... }
+//
+// Anything else — a bare call, `return s.batchCompute(...)`, or an
+// error branch that does not replay — drops the fault contract.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReplayContract is the serial-replay fault-contract analyzer.
+var ReplayContract = &Analyzer{
+	Name: "replaycontract",
+	Doc:  "require //roccc:chunk-compute error branches to reach a //roccc:serial-replay call",
+	Run:  runReplayContract,
+}
+
+func runReplayContract(pass *Pass) error {
+	compute := markedFuncs(pass, "roccc:chunk-compute")
+	replay := markedFuncs(pass, "roccc:serial-replay")
+	if len(compute) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && compute[obj] {
+				continue // the computation itself is below the protocol
+			}
+			checkReplayBody(pass, fd.Body, compute, replay)
+		}
+	}
+	return nil
+}
+
+func markedFuncs(pass *Pass, directive string) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, directive) {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkReplayBody walks every block of one function. Within a block,
+// statement position decides the verdict: a chunk-compute call is legal
+// only as an if-init (`if err := cc(); err != nil {...}`) or as an
+// assignment whose error is tested by a following if in the same block,
+// and in both forms the if body must call a serial-replay function.
+func checkReplayBody(pass *Pass, body *ast.BlockStmt, compute, replay map[*types.Func]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			switch s := stmt.(type) {
+			case *ast.IfStmt:
+				// if err := cc(...); err != nil { ... }
+				if call := computeCallIn(pass, s.Init, compute); call != nil {
+					if !callsAny(pass, s.Body, replay) {
+						pass.Reportf(call.Pos(), "error branch of this //roccc:chunk-compute call never reaches a //roccc:serial-replay call")
+					}
+					continue
+				}
+				checkStrayComputeCalls(pass, stmt, compute)
+			case *ast.AssignStmt:
+				call := computeCallIn(pass, s, compute)
+				if call == nil {
+					checkStrayComputeCalls(pass, stmt, compute)
+					continue
+				}
+				errIdent := assignedErrIdent(pass, s)
+				if errIdent == nil || !guardedBelow(pass, block.List[i+1:], errIdent, replay) {
+					pass.Reportf(call.Pos(), "error of this //roccc:chunk-compute call is never guarded by an if that reaches a //roccc:serial-replay call")
+				}
+			default:
+				checkStrayComputeCalls(pass, stmt, compute)
+			}
+		}
+		return true
+	})
+}
+
+// checkStrayComputeCalls flags chunk-compute calls embedded anywhere in
+// a statement that is not one of the two sanctioned forms.
+func checkStrayComputeCalls(pass *Pass, stmt ast.Stmt, compute map[*types.Func]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.BlockStmt); ok {
+			return false // inner blocks are visited by checkReplayBody
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := funcObj(pass.Info, call); obj != nil && compute[obj] {
+				pass.Reportf(call.Pos(), "//roccc:chunk-compute call outside an error-guarded form; a fault here skips the serial replay")
+			}
+		}
+		return true
+	})
+}
+
+// computeCallIn returns the chunk-compute call when stmt is an
+// assignment (or if-init assignment) whose RHS is exactly that call.
+func computeCallIn(pass *Pass, stmt ast.Stmt, compute map[*types.Func]bool) *ast.CallExpr {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if obj := funcObj(pass.Info, call); obj != nil && compute[obj] {
+		return call
+	}
+	return nil
+}
+
+// assignedErrIdent returns the object of the last assigned variable —
+// the error, by Go convention — of a chunk-compute assignment.
+func assignedErrIdent(pass *Pass, as *ast.AssignStmt) types.Object {
+	id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if as.Tok == token.DEFINE {
+		return pass.Info.Defs[id]
+	}
+	return pass.Info.Uses[id]
+}
+
+// guardedBelow reports whether one of the statements following the
+// assignment is an if testing the error object with a serial-replay
+// call in its body.
+func guardedBelow(pass *Pass, rest []ast.Stmt, errObj types.Object, replay map[*types.Func]bool) bool {
+	for _, stmt := range rest {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		usesErr := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == errObj {
+				usesErr = true
+			}
+			return true
+		})
+		if usesErr {
+			return callsAny(pass, ifs.Body, replay)
+		}
+	}
+	return false
+}
+
+// callsAny reports whether the subtree contains a call to any function
+// in the set.
+func callsAny(pass *Pass, n ast.Node, set map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := funcObj(pass.Info, call); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,29 @@
+package lint
+
+// Run loads the packages matched by patterns in the module rooted at
+// root and applies the analyzers, returning all findings in package
+// order. It is the shared driver behind cmd/roccclint and the
+// tree-cleanliness test.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, int, error) {
+	ldr, err := NewLoader(root)
+	if err != nil {
+		return nil, 0, err
+	}
+	paths, err := ldr.Expand(patterns)
+	if err != nil {
+		return nil, 0, err
+	}
+	var all []Diagnostic
+	for _, p := range paths {
+		pkg, err := ldr.Load(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, diags...)
+	}
+	return all, len(paths), nil
+}

@@ -1,0 +1,57 @@
+// Package hotpath is the hotpathalloc fixture: every construct the
+// analyzer must flag, next to the same construct in an exempt position.
+package hotpath
+
+import "fmt"
+
+type ticker interface{ tick() int }
+
+type counter int
+
+func (c counter) tick() int { return int(c) }
+
+//roccc:hotpath
+func hotStep(in, out []int64, m map[string]int, c counter) ([]int64, error) {
+	out = append(out[:0], in...) // resliced backing array: reuse, ok
+	out = append(out, 1)         // want `append may grow per call`
+	for k := range m {           // want `map iteration`
+		_ = k
+	}
+	fmt.Println("tick") // want `fmt\.Println allocates per call`
+	s := "a" + "b"      // constant-folded, ok
+	_ = s
+	name := "x"
+	label := name + "y" // want `string concatenation`
+	_ = label
+	name += "z" // want `string concatenation`
+	_ = name
+	v := ticker(c) // want `conversion to interface`
+	_ = v
+	if in == nil {
+		return nil, fmt.Errorf("no input") // abort path: exempt
+	}
+	return out, nil
+}
+
+//roccc:hotpath-closures
+func compilePlan(n int) func() int {
+	scratch := make([]int, 0, n)
+	seed := append([]int{}, n) // compile time, not hot: ok
+	_ = seed
+	return func() int {
+		scratch = append(scratch, 1) // want `append may grow per call`
+		return len(scratch)
+	}
+}
+
+// cold has no directive: the same constructs stay silent.
+func cold(m map[string]int) string {
+	var parts []string
+	for k := range m {
+		parts = append(parts, k)
+	}
+	fmt.Println(parts)
+	name := "x"
+	name = name + "y"
+	return name
+}

@@ -1,0 +1,55 @@
+// Package replay is the replaycontract fixture: the two sanctioned
+// guard forms, then every shape that drops the serial-replay fallback.
+package replay
+
+import "errors"
+
+type sim struct{ faulty bool }
+
+//roccc:chunk-compute
+func (s *sim) compute(n int) error {
+	if s.faulty {
+		return errors.New("fault")
+	}
+	return nil
+}
+
+//roccc:serial-replay
+func (s *sim) replay(n int) error { return nil }
+
+func goodIfInit(s *sim, n int) error {
+	if err := s.compute(n); err != nil {
+		return s.replay(n)
+	}
+	return nil
+}
+
+func goodAssignThenIf(s *sim, n int) error {
+	err := s.compute(n)
+	if err != nil {
+		n = 0 // housekeeping before the replay is fine
+		return s.replay(n)
+	}
+	return nil
+}
+
+func badReturn(s *sim, n int) error {
+	return s.compute(n) // want `outside an error-guarded form`
+}
+
+func badBare(s *sim, n int) {
+	s.compute(n) // want `outside an error-guarded form`
+}
+
+func badGuardWithoutReplay(s *sim, n int) error {
+	if err := s.compute(n); err != nil { // want `never reaches a //roccc:serial-replay`
+		return err
+	}
+	return nil
+}
+
+func badAssignNeverGuarded(s *sim, n int) error {
+	err := s.compute(n) // want `never guarded`
+	_ = err
+	return nil
+}

@@ -156,6 +156,7 @@ func planFor(k *hir.Kernel, d *dp.Datapath, bus int) (*sysPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	sysVerifyHook(p, k, d)
 	actual, _ := k.PlanCache.LoadOrStore(key, p)
 	return actual.(*sysPlan), nil
 }
@@ -472,6 +473,8 @@ func (s *System) SetSerial(on bool) { s.serial = on }
 // call per streak (sysbatch.go); stall and fill cycles take the serial
 // per-cycle path below. Both paths are bit-identical on outputs,
 // feedback latches, cycle counts and fault abort cycles.
+//
+//roccc:hotpath
 func (s *System) Run() (*dp.Sim, error) {
 	if s.started {
 		return nil, fmt.Errorf("netlist: System.Run called again without Reset (address generators and smart buffers were consumed by the previous run)")
@@ -569,6 +572,8 @@ func (s *System) Run() (*dp.Sim, error) {
 // memoryStage runs one cycle of the memory stage: each read port whose
 // generator has addresses left and whose smart buffer can accept a bus
 // word fetches up to BusElems elements from BRAM and pushes them.
+//
+//roccc:hotpath
 func (s *System) memoryStage() error {
 	for i, buf := range s.buffers {
 		gen := s.readGens[i]
@@ -591,6 +596,8 @@ func (s *System) memoryStage() error {
 // window taps through the routing tables, induction-variable values off
 // the odometer (which it advances), and scalar parameters. The caller
 // zeroes the row first iff plan.needClear.
+//
+//roccc:hotpath
 func (s *System) fillInputs(row []int64) error {
 	p := s.plan
 	for bi, buf := range s.buffers {
@@ -618,6 +625,8 @@ func (s *System) fillInputs(row []int64) error {
 // harvest writes one exited iteration's output-port values into the
 // output BRAMs through the write address generators and records the
 // completion with the controller.
+//
+//roccc:hotpath
 func (s *System) harvest(outs []int64) error {
 	p := s.plan
 	for wi := range s.writeGens {
@@ -639,6 +648,8 @@ func (s *System) harvest(outs []int64) error {
 
 // advanceOdometer walks the loop nest iteration space in row-major
 // order, mirroring the smart buffer's window order.
+//
+//roccc:hotpath
 func (s *System) advanceOdometer() {
 	for l := len(s.iter) - 1; l >= 0; l-- {
 		s.iter[l]++

@@ -1,0 +1,189 @@
+package netlist
+
+// verify.go is the system slice of the static invariant verifier
+// (internal/dpverify, cmd/rocccvet): it checks a compiled sysPlan's
+// routing tables, loop-nest odometer, harvest ring geometry and
+// needClear derivation against the kernel and data path they were
+// compiled from, and a constructed System's buffers against the
+// smart-buffer capacity contract — all without running a cycle. Under
+// the `dpverify` build tag the plan checks also run at plan-cache time
+// (verify_hook_on.go), so every System CI builds carries them.
+
+import (
+	"fmt"
+
+	"roccc/internal/dp"
+	"roccc/internal/hir"
+	"roccc/internal/smartbuf"
+)
+
+// VerifySystem statically checks a constructed System: the data path's
+// compiled plan (dp.Verify), the system plan's congruence with kernel
+// and data path, the smart-buffer capacity contract for every read
+// port, and the sizing of the streak-dispatch scratch buffers.
+func VerifySystem(s *System) []dp.Violation {
+	vs := dp.Verify(s.Datapath)
+	vs = append(vs, verifySysPlan(s.plan, s.Kernel, s.Datapath)...)
+	for i, b := range s.buffers {
+		for _, msg := range smartbuf.VerifyBuffer(b) {
+			vs = append(vs, dp.Violation{Invariant: "system/smartbuf",
+				Detail: fmt.Sprintf("read port %d (%s): %s", i, s.plan.reads[i].arrName, msg)})
+		}
+	}
+	p := s.plan
+	if len(s.buffers) != len(p.reads) || len(s.readGens) != len(p.reads) || len(s.readBRAMs) != len(p.reads) {
+		vs = append(vs, violation("system/wiring", "system carries %d buffers / %d generators / %d BRAMs for %d read plans",
+			len(s.buffers), len(s.readGens), len(s.readBRAMs), len(p.reads)))
+	}
+	if len(s.writeGens) != len(p.writes) || len(s.writeBRAMs) != len(p.writes) {
+		vs = append(vs, violation("system/wiring", "system carries %d write generators / %d BRAMs for %d write plans",
+			len(s.writeGens), len(s.writeBRAMs), len(p.writes)))
+	}
+	// Streak-dispatch scratch: a chunk stages up to min(total,
+	// sysChunkMax) input rows, and the harvest replay snapshots
+	// latency-many pre-chunk fed bits.
+	if wantStage := min(p.total, sysChunkMax) * len(s.Datapath.Inputs); len(s.stage) < wantStage {
+		vs = append(vs, violation("system/wiring", "staging buffer holds %d values, a full chunk needs %d", len(s.stage), wantStage))
+	}
+	if len(s.fedPre) < p.latency {
+		vs = append(vs, violation("system/wiring", "fedPre snapshot holds %d bits, harvest replay needs %d", len(s.fedPre), p.latency))
+	}
+	if len(s.fedRing) != s.fedMask+1 || s.fedMask != p.fedMask {
+		vs = append(vs, violation("system/wiring", "fed ring of %d bits does not match mask %#x (plan mask %#x)", len(s.fedRing), s.fedMask, p.fedMask))
+	}
+	return vs
+}
+
+func violation(inv, format string, args ...any) dp.Violation {
+	return dp.Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)}
+}
+
+// verifySysPlan checks a compiled system plan against its kernel and
+// data path: every routing index in bounds, the loop nest congruent
+// with the kernel's, the harvest ring deep enough for the pipeline, and
+// needClear re-derived from the actual input coverage.
+func verifySysPlan(p *sysPlan, k *hir.Kernel, d *dp.Datapath) []dp.Violation {
+	var vs []dp.Violation
+	add := func(inv, format string, args ...any) {
+		vs = append(vs, violation(inv, format, args...))
+	}
+
+	// system/nest: the dense odometer must reproduce the kernel's loop
+	// nest exactly — Run's cycle budget and the write generators both
+	// derive from it.
+	depth := k.Nest.Depth()
+	if len(p.from) != depth || len(p.step) != depth || len(p.trips) != depth {
+		add("system/nest", "odometer tables cover %d/%d/%d levels for a depth-%d nest", len(p.from), len(p.step), len(p.trips), depth)
+	} else {
+		total := 1
+		for l := 0; l < depth; l++ {
+			if p.trips[l] != k.Nest.Trips(l) {
+				add("system/nest", "level %d trips %d, kernel nest has %d", l, p.trips[l], k.Nest.Trips(l))
+			}
+			if p.trips[l] <= 0 {
+				add("system/nest", "level %d has non-positive trip count %d", l, p.trips[l])
+			}
+			if p.from[l] != k.Nest.From[l] {
+				add("system/nest", "level %d lower bound %d, kernel nest has %d", l, p.from[l], k.Nest.From[l])
+			}
+			total *= int(p.trips[l])
+		}
+		if p.total != total {
+			add("system/nest", "plan total %d is not the product of trip counts %d", p.total, total)
+		}
+	}
+	if p.total != int(k.Nest.TotalIterations()) {
+		add("system/nest", "plan total %d, kernel nest iterates %d", p.total, k.Nest.TotalIterations())
+	}
+
+	// system/harvest-ring: latency must match the data path, and the fed
+	// ring must hold latency+1 cycles of history as a power of two —
+	// harvest reads the bit from `latency` cycles ago before the current
+	// cycle's write wraps onto it.
+	if p.latency != d.Latency() {
+		add("system/harvest-ring", "plan latency %d, data path latency %d", p.latency, d.Latency())
+	}
+	if n := p.fedMask + 1; n&(n-1) != 0 || n < p.latency+1 {
+		add("system/harvest-ring", "fed ring of %d bits cannot hold latency %d + 1 cycles as a power of two", n, p.latency)
+	}
+
+	// system/routing: every dense table must address real data-path
+	// ports; -1 marks a deliberately unrouted slot.
+	nIn, nOut := len(d.Inputs), len(d.Outputs)
+	if len(p.reads) != len(k.Reads) {
+		add("system/routing", "%d read plans for %d kernel read windows", len(p.reads), len(k.Reads))
+	}
+	for i := range p.reads {
+		rp := &p.reads[i]
+		if err := rp.cfg.Validate(); err != nil {
+			add("system/routing", "read port %d (%s): invalid buffer config: %v", i, rp.arrName, err)
+		}
+		if len(rp.route) != len(rp.cfg.Taps) {
+			add("system/routing", "read port %d (%s): %d route entries for %d window taps", i, rp.arrName, len(rp.route), len(rp.cfg.Taps))
+		}
+		for t, ix := range rp.route {
+			if ix < -1 || int(ix) >= nIn {
+				add("system/routing", "read port %d (%s): tap %d routes to input %d of %d", i, rp.arrName, t, ix, nIn)
+			}
+		}
+	}
+	if len(p.writes) != len(k.Writes) {
+		add("system/routing", "%d write plans for %d kernel write accesses", len(p.writes), len(k.Writes))
+	}
+	for i := range p.writes {
+		wp := &p.writes[i]
+		for e, ix := range wp.outIdx {
+			if ix < 0 || ix >= nOut {
+				add("system/routing", "write port %d (%s): element %d routes to output %d of %d", i, wp.arrName, e, ix, nOut)
+			}
+		}
+	}
+	for i, iv := range p.ivs {
+		if iv.in < 0 || iv.in >= nIn {
+			add("system/routing", "IV %d routes to input %d of %d", i, iv.in, nIn)
+		}
+		if iv.level < 0 || iv.level >= depth {
+			add("system/routing", "IV %d reads nest level %d of %d", i, iv.level, depth)
+		}
+	}
+	if len(p.scalarIn) != len(k.ScalarParams) {
+		add("system/routing", "%d scalar routes for %d scalar parameters", len(p.scalarIn), len(k.ScalarParams))
+	}
+	for i, ix := range p.scalarIn {
+		if ix < -1 || ix >= nIn {
+			add("system/routing", "scalar %d routes to input %d of %d", i, ix, nIn)
+		}
+	}
+
+	// system/need-clear: re-derive input coverage. needClear may only be
+	// false when every data-path input is overwritten each feed cycle;
+	// a stale value surviving into an uncovered port would silently
+	// corrupt the stream.
+	covered := make([]bool, nIn)
+	mark := func(ix int) {
+		if ix >= 0 && ix < nIn {
+			covered[ix] = true
+		}
+	}
+	for i := range p.reads {
+		for _, ix := range p.reads[i].route {
+			mark(int(ix))
+		}
+	}
+	for _, iv := range p.ivs {
+		mark(iv.in)
+	}
+	for _, ix := range p.scalarIn {
+		mark(ix)
+	}
+	wantClear := false
+	for _, c := range covered {
+		if !c {
+			wantClear = true
+		}
+	}
+	if p.needClear != wantClear {
+		add("system/need-clear", "plan records needClear=%v, input coverage derives %v", p.needClear, wantClear)
+	}
+	return vs
+}

@@ -1,0 +1,86 @@
+package netlist
+
+// verify_test.go exercises the system-plan verifier two ways: a real
+// compiled System must verify clean, and targeted corruptions of a
+// plan copy must each be rejected with the right named invariant.
+
+import (
+	"testing"
+
+	"roccc/internal/core"
+	"roccc/internal/dp"
+)
+
+func assertSysInvariant(t *testing.T, vs []dp.Violation, invariant string) {
+	t.Helper()
+	if invariant == "" {
+		if len(vs) != 0 {
+			t.Fatalf("want a clean verification, got %d violations, first: %v", len(vs), vs[0])
+		}
+		return
+	}
+	for _, v := range vs {
+		if v.Invariant == invariant {
+			return
+		}
+	}
+	t.Fatalf("no %q violation in %v", invariant, vs)
+}
+
+// planCopy deep-copies the cached plan so corruptions never leak into
+// the kernel's PlanCache (other tests share it).
+func planCopy(p *sysPlan) *sysPlan {
+	c := *p
+	c.reads = append([]readPlan(nil), p.reads...)
+	for i := range c.reads {
+		c.reads[i].route = append([]int32(nil), p.reads[i].route...)
+	}
+	c.writes = append([]writePlan(nil), p.writes...)
+	c.ivs = append([]ivPlan(nil), p.ivs...)
+	c.scalarIn = append([]int(nil), p.scalarIn...)
+	c.from = append([]int64(nil), p.from...)
+	c.step = append([]int64(nil), p.step...)
+	c.trips = append([]int64(nil), p.trips...)
+	return &c
+}
+
+func TestVerifySystemClean(t *testing.T) {
+	res, sys := buildSystem(t, firSource, "fir", core.DefaultOptions(), Config{BusElems: 1})
+	assertSysInvariant(t, VerifySystem(sys), "")
+	assertSysInvariant(t, verifySysPlan(sys.plan, res.Kernel, sys.Datapath), "")
+}
+
+func TestVerifySysPlanCorruptions(t *testing.T) {
+	res, sys := buildSystem(t, firSource, "fir", core.DefaultOptions(), Config{BusElems: 1})
+	k, d := res.Kernel, sys.Datapath
+
+	cases := []struct {
+		name      string
+		invariant string
+		mut       func(p *sysPlan)
+	}{
+		{"trip count drift", "system/nest", func(p *sysPlan) { p.trips[0]++ }},
+		{"stale total", "system/nest", func(p *sysPlan) { p.total *= 2 }},
+		{"latency mismatch", "system/harvest-ring", func(p *sysPlan) { p.latency++ }},
+		{"fed ring too shallow", "system/harvest-ring", func(p *sysPlan) { p.fedMask = 0 }},
+		{"route past input ports", "system/routing", func(p *sysPlan) {
+			p.reads[0].route[0] = int32(len(d.Inputs))
+		}},
+		{"scalar route past input ports", "system/routing", func(p *sysPlan) {
+			p.scalarIn = append(p.scalarIn, len(d.Inputs))
+		}},
+		{"needClear dropped", "system/need-clear", func(p *sysPlan) {
+			// Unroute a tap so one input port goes uncovered while the
+			// plan still claims no clearing is needed.
+			p.reads[0].route[0] = -1
+			p.needClear = false
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := planCopy(sys.plan)
+			tc.mut(p)
+			assertSysInvariant(t, verifySysPlan(p, k, d), tc.invariant)
+		})
+	}
+}

@@ -182,11 +182,15 @@ func (b *Buffer) minNeededIndex() int {
 // CanAccept reports whether a full bus word can be pushed without
 // evicting data the next window still needs — the buffer's backpressure
 // signal to the read address generator.
+//
+//roccc:hotpath
 func (b *Buffer) CanAccept() bool {
 	return b.count+b.cfg.BusElems-b.minNeededIndex() <= b.cap
 }
 
 // Push delivers the next elems (<= BusElems) in streaming order.
+//
+//roccc:hotpath
 func (b *Buffer) Push(elems []int64) error {
 	if len(elems) > b.cfg.BusElems {
 		return fmt.Errorf("smartbuf: push of %d elements exceeds bus width %d", len(elems), b.cfg.BusElems)
@@ -211,6 +215,8 @@ func (b *Buffer) at(i int) (int64, error) {
 
 // WindowReady reports whether the next window's last element has
 // arrived.
+//
+//roccc:hotpath
 func (b *Buffer) WindowReady() bool {
 	need := b.lastIndexOfWindow() + 1
 	return need <= b.count && !b.done()
@@ -256,6 +262,8 @@ func (b *Buffer) PopWindow() ([]int64, error) {
 // element), and no tap can be evicted — taps lie at or after the window
 // origin, and the push-side CanAccept invariant keeps
 // count <= cap + origin at all times.
+//
+//roccc:hotpath
 func (b *Buffer) PopWindowInto(out []int64) error {
 	if len(out) != len(b.cfg.Taps) {
 		return fmt.Errorf("smartbuf: window buffer holds %d elements, want %d taps", len(out), len(b.cfg.Taps))
@@ -277,6 +285,8 @@ func (b *Buffer) PopWindowInto(out []int64) error {
 
 // slide advances the window by the stride: innermost dimension first,
 // wrapping to the next row strip for 2-D patterns.
+//
+//roccc:hotpath
 func (b *Buffer) slide() {
 	last := len(b.cfg.Extent) - 1
 	b.popped[last]++
@@ -294,6 +304,8 @@ func (b *Buffer) slide() {
 // dropped. Cycle loops that would otherwise pop into a scratch window
 // and re-copy through a routing table (the netlist feed stage) save the
 // intermediate buffer entirely.
+//
+//roccc:hotpath
 func (b *Buffer) PopWindowRouted(out []int64, route []int32) error {
 	if len(route) != len(b.tapOff) {
 		return fmt.Errorf("smartbuf: routing table holds %d entries, want %d taps", len(route), len(b.tapOff))
@@ -338,6 +350,8 @@ func (b *Buffer) stripRemaining() int {
 // guaranteed-feed lower bound regardless of how memory-stage pushes
 // interleave: resident data is never evicted while a window still
 // references it (CanAccept backpressure).
+//
+//roccc:hotpath
 func (b *Buffer) WindowsBuffered() int {
 	if !b.WindowReady() {
 		return 0
@@ -360,6 +374,8 @@ func (b *Buffer) WindowsBuffered() int {
 // window sweep never needs elements past the array, so the generator
 // cannot run dry first. Returns 0 if the window is already ready (or
 // all windows are done: the caller's controller is draining then).
+//
+//roccc:hotpath
 func (b *Buffer) StallStreak() int {
 	if b.done() {
 		return 0
@@ -398,6 +414,8 @@ func (b *Buffer) StallStreak() int {
 // Cycles beyond the array's last element need no supply at all: the
 // validated window sweep never references past the array, so the
 // min(T, ...) clamp on supply can only relax the bound.
+//
+//roccc:hotpath
 func (b *Buffer) FeedStreak(max int) int {
 	if max <= 0 || !b.WindowReady() {
 		return 0
