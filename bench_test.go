@@ -23,6 +23,7 @@ import (
 	"roccc/internal/bench"
 	"roccc/internal/dp"
 	"roccc/internal/exp"
+	"roccc/internal/fleet"
 	"roccc/internal/ip"
 	"roccc/internal/netlist"
 	"roccc/internal/serve"
@@ -441,6 +442,10 @@ func BenchmarkAblations(b *testing.B) {
 //   - tcp-concurrent: several TCP clients issuing the same single-stream
 //     requests concurrently; CI gates this at >= the serial floor on
 //     multi-core runners (round trips overlap even on small machines).
+//   - tcp-pipelined: several request slots multiplexed over ONE v2
+//     pipelined connection — the Serve v2 headline. Requests overlap in
+//     flight on a single socket, so the per-stream round-trip latency
+//     amortizes away; CI gates this against tcp-serial (serve2 group).
 func BenchmarkServeThroughput(b *testing.B) {
 	srv := serve.NewServer(0)
 	if err := srv.Register(serve.KernelSpec{
@@ -544,4 +549,97 @@ func BenchmarkServeThroughput(b *testing.B) {
 		}
 		wg.Wait()
 	})
+	b.Run("tcp-pipelined", func(b *testing.B) {
+		conn, err := serve.DialPipelined(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		slots := min(8, max(2, runtime.GOMAXPROCS(0)))
+		warm := mkJobs(1)
+		if err := conn.Run("fir", warm); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		var failed atomic.Bool
+		for i := 0; i < slots; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				jobs := mkJobs(1)
+				for int(next.Add(1)) <= b.N {
+					if err := conn.Run("fir", jobs); err != nil {
+						if failed.CompareAndSwap(false, true) {
+							b.Error(err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// BenchmarkFleetRouter measures the fleet placement layer's overhead on
+// the in-process fast path: Dispatch resolves the kernel's cached route
+// and RunStream admits the stream against the shard's slot budget before
+// handing it to the worker's warm SystemPool. One op is one served
+// stream on a reused Job, so the admission + routing tax sits directly
+// on top of the inproc ServeThroughput numbers; CI holds the steady
+// state at 0 allocs/op (serve2 group) — routing must stay a pointer
+// chase plus a few atomics, never an allocation.
+func BenchmarkFleetRouter(b *testing.B) {
+	spec := serve.KernelSpec{
+		Name: "fir", Source: exp.Fig3Source, Func: "fir",
+		Options: DefaultOptions(), Config: netlist.Config{BusElems: 1},
+	}
+	shards := make([]fleet.Shard, 2)
+	for i := range shards {
+		w := serve.NewServer(2)
+		if err := w.Register(spec); err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			w.Shutdown(ctx)
+		}()
+		shards[i] = fleet.Shard{Local: w, Slots: 4}
+	}
+	r, err := fleet.NewRouter(shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	rng := rand.New(rand.NewSource(1))
+	in := make([]int64, 21)
+	for i := range in {
+		in[i] = rng.Int63n(255) - 128
+	}
+	job := netlist.Job{Inputs: map[string][]int64{"A": in}}
+	// Warm-up compiles the kernel on its owning shard, spawns the pool
+	// workers and allocates THIS job's reusable output buffers — the
+	// timed loop reuses the same Job so the steady state stays at 0
+	// allocs/op.
+	warm, err := r.Dispatch("fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm.RunStream(&job); job.Err != nil {
+		b.Fatal(job.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		runner, err := r.Dispatch("fir")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if runner.RunStream(&job); job.Err != nil {
+			b.Fatal(job.Err)
+		}
+	}
 }

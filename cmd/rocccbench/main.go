@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rocccbench [-figures] [-estimation] [-throughput] [-sweep] [-sysbatch] [-serve] [-all]
+//	rocccbench [-figures] [-estimation] [-throughput] [-sweep] [-sysbatch] [-serve] [-fleet] [-all]
 package main
 
 import (
@@ -24,6 +24,9 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "print the batch sweep (serial vs sharded SystemPool)")
 		sysbatch   = flag.Bool("sysbatch", false, "print the system cycle-loop batching sweep (serial vs streak-batched System.Run)")
 		servesweep = flag.Bool("serve", false, "print the serve sweep (rocccserve TCP vs serial System.Run)")
+		fleetsweep = flag.Bool("fleet", false, "print the fleet sweep (pipelined v2 client + sharded router vs serial System.Run)")
+		shardsN    = flag.Int("shards", 3, "worker shards for the -fleet sweep")
+		corpusDir  = flag.String("corpus", "ci/corpus", "extra .c kernels for the -fleet sweep (function name k); empty skips")
 		jobs       = flag.Int("jobs", 64, "independent input streams per sweep")
 		workers    = flag.Int("workers", 0, "sweep shard width (0 = GOMAXPROCS)")
 		backendF   = flag.String("backend", "threaded", "execution backend for the -sysbatch sweep's backend columns: interp, threaded or cone")
@@ -89,6 +92,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(exp.FormatServeSweep(rows))
+	}
+	if *fleetsweep || *all {
+		rows, err := exp.FleetSweep(*jobs, *shardsN, backend, *corpusDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.FormatFleetSweep(rows, *shardsN))
 	}
 	if *estimation || *all {
 		est, err := exp.AreaEstimation()

@@ -79,6 +79,53 @@ func TestServeSweep(t *testing.T) {
 	}
 }
 
+// TestFleetSweep is the Serve v2 acceptance harness: the pipelined
+// client + router + sharded workers stack must be bit-identical to
+// serial System.Run for every Table 1 kernel, the fault divider and the
+// ci/corpus kernels, on all three execution backends — with every shard
+// pool balanced after the concurrent storm. FleetSweep fails internally
+// on any divergence, shed or leak; here we pin the matrix shape.
+func TestFleetSweep(t *testing.T) {
+	for _, b := range dp.Backends() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			t.Parallel()
+			rows, err := FleetSweep(3, 3, b, "../../ci/corpus")
+			if err != nil {
+				t.Fatal(err)
+			}
+			byName := map[string]ServeRow{}
+			corpus, corpusStreamed := 0, 0
+			for _, r := range rows {
+				byName[r.Kernel] = r
+				if strings.HasPrefix(r.Kernel, "corpus_") {
+					corpus++
+					if r.Skipped == "" {
+						corpusStreamed++
+					}
+				}
+			}
+			// Straight-line corpus kernels (no loop nest) are verified via
+			// the refusal path; the rest must stream bit-identical.
+			if corpus < 5 || corpusStreamed < 3 {
+				t.Fatalf("corpus coverage too thin: %d kernels, %d streamed", corpus, corpusStreamed)
+			}
+			for _, name := range []string{"mul_acc", "fir", "dct", "wavelet"} {
+				if r := byName[name]; r.Skipped != "" || r.Streams != 3 {
+					t.Errorf("%s: row %+v, want 3 served streams", name, r)
+				}
+			}
+			if r := byName["divide_fault"]; r.Faults != 1 { // odd streams plant a zero
+				t.Errorf("divide_fault: %d faults, want 1: %+v", r.Faults, r)
+			}
+			out := FormatFleetSweep(rows, 3)
+			if !strings.Contains(out, "3 shards") || !strings.Contains(out, "bit-identical") {
+				t.Errorf("unexpected table:\n%s", out)
+			}
+		})
+	}
+}
+
 // TestSysBatchSweep runs the serial-vs-streak system sweep small: the
 // sweep fails on any bit divergence, so a passing run certifies the
 // streak-batched Run across the Table 1 matrix end to end.

@@ -25,9 +25,15 @@ var PoolHygiene = &Analyzer{
 	Run:  runPoolHygiene,
 }
 
-// poolTypeName matches the receiver's named type; fixtures declare
-// their own SystemPool, so the check is name-based, not path-based.
-const poolTypeName = "SystemPool"
+// poolTypeNames matches the receiver's named type; fixtures declare
+// their own SystemPool/Router, so the check is name-based, not
+// path-based. Router is fleet.Router's pipelined-connection free list —
+// same checkout protocol, same leak consequence (a dropped conn pins a
+// TCP socket and shrinks the shard's reuse pool).
+var poolTypeNames = map[string]bool{
+	"SystemPool": true,
+	"Router":     true,
+}
 
 func runPoolHygiene(pass *Pass) error {
 	for _, f := range pass.Files {
@@ -45,7 +51,7 @@ func runPoolHygiene(pass *Pass) error {
 func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
 	hasPut := false
 	ast.Inspect(body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isPoolMethod(pass, call, "Put") {
+		if call, ok := n.(*ast.CallExpr); ok && poolMethodType(pass, call, "Put") != "" {
 			hasPut = true
 		}
 		return !hasPut
@@ -53,45 +59,50 @@ func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
 
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !isPoolMethod(pass, call, "Get") {
+		if !ok {
 			return true
 		}
-		if hasPut {
+		tname := poolMethodType(pass, call, "Get")
+		if tname == "" || hasPut {
 			return true
 		}
 		obj := getResultObj(pass, body, call)
 		if obj == nil {
-			pass.Reportf(call.Pos(), "SystemPool.Get result is discarded: the checked-out system can never be Put back")
+			pass.Reportf(call.Pos(), "%s.Get result is discarded: the checked-out value can never be Put back", tname)
 			return true
 		}
 		if !escapes(pass, body, obj) {
-			pass.Reportf(call.Pos(), "SystemPool.Get without a Put: %s neither returns to the pool nor escapes", obj.Name())
+			pass.Reportf(call.Pos(), "%s.Get without a Put: %s neither returns to the pool nor escapes", tname, obj.Name())
 		}
 		return true
 	})
 }
 
-// isPoolMethod reports whether call invokes the named method on a
-// value whose (possibly pointed-to) named type is SystemPool.
-func isPoolMethod(pass *Pass, call *ast.CallExpr, method string) bool {
+// poolMethodType reports the receiver type name when call invokes the
+// named method on a value whose (possibly pointed-to) named type is one
+// of the checked pool types, "" otherwise.
+func poolMethodType(pass *Pass, call *ast.CallExpr, method string) string {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return false
+		return ""
 	}
 	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
 	if !ok || f.Name() != method {
-		return false
+		return ""
 	}
 	sig, ok := f.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		return false
+		return ""
 	}
 	t := sig.Recv().Type()
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == poolTypeName
+	if !ok || !poolTypeNames[named.Obj().Name()] {
+		return ""
+	}
+	return named.Obj().Name()
 }
 
 // getResultObj finds the variable the Get call's first result is bound

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -10,6 +11,12 @@ import (
 	"roccc/internal/dp"
 	"roccc/internal/hir"
 )
+
+// ErrPoolClosed is the sentinel inside every RunJob/RunBatch failure on
+// a closed pool. Services that evict and rebuild pools (serve's
+// registry hygiene) match it with errors.Is to distinguish "lost a race
+// with eviction — retry on the rebuilt pool" from a real stream error.
+var ErrPoolClosed = errors.New("netlist: SystemPool is closed")
 
 // SystemPool is a pool of Reset-able Systems for one compiled kernel,
 // plus a fixed crew of persistent worker goroutines that shard
@@ -230,7 +237,8 @@ func (p *SystemPool) Put(sys *System) {
 // steady state (reused Job buffers, warm free list) allocates nothing.
 func (p *SystemPool) RunJob(job *Job) error {
 	if p.closed.Load() {
-		return fmt.Errorf("netlist: RunJob on a closed SystemPool")
+		job.Err = fmt.Errorf("netlist: RunJob: %w", ErrPoolClosed)
+		return job.Err
 	}
 	sys, err := p.Get()
 	if err != nil {
@@ -255,7 +263,7 @@ func (p *SystemPool) RunBatch(jobs []Job) error {
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
 	if p.closed.Load() {
-		return fmt.Errorf("netlist: RunBatch on a closed SystemPool")
+		return fmt.Errorf("netlist: RunBatch: %w", ErrPoolClosed)
 	}
 	p.spawn.Do(func() {
 		for i := 0; i < p.workers; i++ {

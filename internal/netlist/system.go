@@ -406,6 +406,13 @@ func (s *System) Cycles() int { return s.cycles }
 // built with.
 func (s *System) Backend() dp.Backend { return s.sim.Backend() }
 
+// HasClosedFormCone reports whether the system's data-path plan carries
+// a closed-form feedback cone (the prefix-sum vectorization of ADD-cone
+// latch recurrences). Observability surfaces expose it so operators can
+// see which kernels' feedback paths vectorize and which fall back to
+// lane-serial execution.
+func (s *System) HasClosedFormCone() bool { return s.sim.HasClosedFormCone() }
+
 // BatchedCycles returns how many of Run's cycles were dispatched
 // through the streak-batched path (StepN chunks and the DrainN tail);
 // the rest took the serial per-cycle path. Zero on a Config.Serial

@@ -1,9 +1,9 @@
 package serve
 
 import (
-	"errors"
 	"fmt"
 	"net"
+	"sync"
 
 	"roccc/internal/dp"
 	"roccc/internal/netlist"
@@ -53,24 +53,14 @@ func (c *Local) Run(kernel string, streams []netlist.Job) error {
 		return fmt.Errorf("serve: server is draining")
 	}
 	defer c.srv.endStream()
-	err = e.pool.Load().RunBatch(streams)
-	c.srv.served.Add(int64(len(streams)))
-	// Count faulted streams exactly as the TCP path does: one per
-	// stream whose error is a typed fault.
-	var faults int64
+	e.opens.Add(1)
+	e.lastUse.Store(c.srv.tick.Add(1))
+	err = e.runBatch(streams)
 	for i := range streams {
-		if streams[i].Err != nil {
-			var fe *dp.FaultError
-			if errors.As(streams[i].Err, &fe) {
-				faults++
-			}
-		}
+		c.srv.countStream(streams[i].Err)
 	}
-	if faults > 0 {
-		c.srv.faults.Add(faults)
-	}
-	// RunBatch's error is the first per-stream failure unless the pool
-	// itself was closed (no stream carries an error then).
+	// runBatch's error is the first per-stream failure unless the pool
+	// itself failed to (re)build (no stream carries an error then).
 	if serr := firstStreamErr(kernel, streams); serr != nil {
 		return serr
 	}
@@ -80,17 +70,46 @@ func (c *Local) Run(kernel string, streams []netlist.Job) error {
 // Close is a no-op: the Local client owns no transport.
 func (c *Local) Close() error { return nil }
 
-// Conn is the TCP client. One request is in flight at a time; a Conn is
-// not safe for concurrent use (open one Conn per client goroutine —
-// they multiplex fine on the server side).
+// Conn is the TCP client. A Dial'd Conn speaks protocol v1: one request
+// in flight at a time, not safe for concurrent use (open one Conn per
+// client goroutine — they multiplex fine on the server side). A
+// DialPipelined Conn speaks v2: a reader goroutine demuxes responses by
+// request id, so any number of goroutines may Run on the same Conn
+// concurrently and their requests share the connection's server-side
+// executor slots.
 type Conn struct {
 	c    net.Conn
 	enc  encoder
 	rbuf []byte
 	next uint32
+
+	// Pipelined (v2) state. encs pools per-request frame encoders; wmu
+	// makes each frame a single uninterleaved Write; pmu guards the
+	// pending demux table and the latched transport error.
+	pipelined  bool
+	encs       sync.Pool
+	wmu        sync.Mutex
+	pmu        sync.Mutex
+	pending    map[uint32]*pending
+	preq       uint32
+	rerr       error
+	readerDone chan struct{}
 }
 
-// Dial connects to a rocccserve address.
+// pending is one in-flight pipelined request. jobs and answered are
+// owned by the reader goroutine until done is signalled; the Run
+// goroutine reads the jobs only after receiving on done.
+type pending struct {
+	kernel   string
+	jobs     []netlist.Job
+	answered int
+	ping     bool
+	done     chan error
+}
+
+// Dial connects to a rocccserve address, speaking protocol v1 (serial
+// requests). v1 byte streams are valid v2 byte streams, so a Dial'd
+// Conn works against both v1 and v2 servers.
 func Dial(addr string) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -99,9 +118,162 @@ func Dial(addr string) (*Conn, error) {
 	return &Conn{c: c}, nil
 }
 
+// DialPipelined connects to a rocccserve address and negotiates
+// protocol v2. Dialing a v1 server fails with a clear error (a v1
+// server answers the hello frame with a request-level error and closes
+// the connection). The returned Conn is safe for concurrent Run calls.
+func DialPipelined(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{c: nc, pipelined: true,
+		pending:    map[uint32]*pending{},
+		readerDone: make(chan struct{}),
+	}
+	c.encs.New = func() any { return new(encoder) }
+	if err := c.handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// handshake sends the client hello and classifies the server's answer.
+func (c *Conn) handshake() error {
+	e := &c.enc
+	e.begin(frameHello, 0)
+	e.u16(ProtoV2)
+	if _, err := c.c.Write(e.finish()); err != nil {
+		return fmt.Errorf("serve: sending hello: %w", err)
+	}
+	payload, err := readFrame(c.c, nil)
+	if err != nil {
+		return fmt.Errorf("serve: reading hello response: %w", err)
+	}
+	d := decoder{b: payload}
+	typ := d.u8()
+	d.u32() // request id (0, or reqNone on an unattributable v1 error)
+	switch typ {
+	case frameHello:
+		ver := int(d.u16())
+		if d.err != nil {
+			return fmt.Errorf("serve: malformed hello response: %w", d.err)
+		}
+		if ver < ProtoV2 {
+			return fmt.Errorf("serve: server negotiated protocol v%d; pipelined mode needs v2 — use Dial for serial requests", ver)
+		}
+		return nil
+	case frameError:
+		// A v1 server does not know the hello frame type: it answers with
+		// a request-level error and closes the connection.
+		d.u32() // stream id
+		msg := d.str16()
+		return fmt.Errorf("serve: server speaks protocol v1 (no request pipelining; hello refused: %s) — use Dial for serial requests", msg)
+	default:
+		return fmt.Errorf("serve: unexpected hello response frame %q", typ)
+	}
+}
+
 // Close closes the connection; in-flight server work completes and its
-// pooled Systems return to their pools.
-func (c *Conn) Close() error { return c.c.Close() }
+// pooled Systems return to their pools. On a pipelined Conn, in-flight
+// Runs fail with a transport error.
+func (c *Conn) Close() error {
+	err := c.c.Close()
+	if c.pipelined {
+		<-c.readerDone
+	}
+	return err
+}
+
+// Healthy reports whether a pipelined Conn can still carry requests;
+// connection pools use it to drop broken conns instead of reusing them.
+func (c *Conn) Healthy() bool {
+	if !c.pipelined {
+		return true
+	}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.rerr == nil
+}
+
+// Ping round-trips a keepalive frame through the server (pipelined
+// conns only): it proves the connection and the server's reader loop
+// are alive without touching any kernel.
+func (c *Conn) Ping() error {
+	if !c.pipelined {
+		return fmt.Errorf("serve: Ping requires a pipelined connection (DialPipelined)")
+	}
+	p := &pending{ping: true, done: make(chan error, 1)}
+	req, err := c.register(p)
+	if err != nil {
+		return err
+	}
+	e := c.encs.Get().(*encoder)
+	e.begin(frameKeepAlive, req)
+	if err := c.writeFrame(e); err != nil {
+		c.abort(fmt.Errorf("serve: sending keepalive: %w", err))
+		return <-p.done
+	}
+	return <-p.done
+}
+
+// register installs a pending request under a fresh request id,
+// refusing if the connection is already poisoned.
+func (c *Conn) register(p *pending) (uint32, error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.rerr != nil {
+		return 0, c.rerr
+	}
+	c.preq++
+	req := c.preq
+	c.pending[req] = p
+	return req, nil
+}
+
+// writeFrame writes one finished frame under the write lock and returns
+// the encoder to the pool.
+func (c *Conn) writeFrame(e *encoder) error {
+	c.wmu.Lock()
+	_, err := c.c.Write(e.finish())
+	c.wmu.Unlock()
+	c.encs.Put(e)
+	return err
+}
+
+// abort poisons a pipelined Conn: the error latches, every in-flight
+// request fails with it, and the connection closes. Responses can no
+// longer be trusted to demux correctly, so nothing survives.
+func (c *Conn) abort(err error) {
+	c.pmu.Lock()
+	if c.rerr == nil {
+		c.rerr = err
+	}
+	err = c.rerr
+	for req, p := range c.pending {
+		delete(c.pending, req)
+		p.done <- err
+	}
+	c.pmu.Unlock()
+	c.c.Close()
+}
+
+// complete retires one pipelined request with its final status.
+func (c *Conn) complete(req uint32, p *pending, err error) {
+	c.pmu.Lock()
+	delete(c.pending, req)
+	c.pmu.Unlock()
+	p.done <- err
+}
+
+// completeRequestError retires one request with a server-reported
+// request-level failure (unknown kernel, compile error, drain); the
+// connection itself stays healthy.
+func (c *Conn) completeRequestError(req uint32, p *pending, msg string) {
+	c.complete(req, p, fmt.Errorf("serve: request failed: %s", msg))
+}
 
 // Run sends one request (kernel + all streams) and collects the
 // responses, filling each stream's Job in place. Output and feedback
@@ -110,6 +282,9 @@ func (c *Conn) Close() error { return c.c.Close() }
 // unknown, so Run closes it (after joining its writer): later Runs on
 // the Conn fail fast instead of desynchronizing.
 func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
+	if c.pipelined {
+		return c.runPipelined(kernel, streams)
+	}
 	c.next++
 	req := c.next
 	for i := range streams {
@@ -183,49 +358,8 @@ func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
 			if idx < 0 || idx >= len(streams) {
 				return fmt.Errorf("serve: result for unknown stream %d", idx)
 			}
-			job := &streams[idx]
-			job.Cycles = int(d.u64())
-			nouts := int(d.u16())
-			if job.Outputs == nil && nouts > 0 {
-				job.Outputs = make(map[string][]int64, nouts)
-			}
-			// A Job reused across kernels may hold keys this response
-			// never sends; remember the frame's names when the maps were
-			// already populated, and purge everything else afterwards.
-			// First fills (empty maps) skip the bookkeeping entirely.
-			var outNames, fbNames []string
-			collectOut := len(job.Outputs) > 0
-			for i := 0; i < nouts; i++ {
-				name := d.str8()
-				vals := d.valsInto(job.Outputs[name])
-				if d.err != nil {
-					break
-				}
-				job.Outputs[name] = vals
-				if collectOut {
-					outNames = append(outNames, name)
-				}
-			}
-			nfb := int(d.u16())
-			if job.Feedbacks == nil && nfb > 0 {
-				job.Feedbacks = make(map[string]int64, nfb)
-			}
-			collectFb := len(job.Feedbacks) > 0
-			for i := 0; i < nfb; i++ {
-				name := d.str8()
-				job.Feedbacks[name] = d.i64()
-				if collectFb {
-					fbNames = append(fbNames, name)
-				}
-			}
-			if d.err != nil {
-				return fmt.Errorf("serve: malformed result frame: %w", d.err)
-			}
-			if len(job.Outputs) > nouts {
-				purgeStale(job.Outputs, outNames)
-			}
-			if len(job.Feedbacks) > nfb {
-				purgeStale(job.Feedbacks, fbNames)
+			if err := decodeResultInto(&d, &streams[idx]); err != nil {
+				return err
 			}
 			answered++
 		case frameFault:
@@ -233,15 +367,9 @@ func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
 			if idx < 0 || idx >= len(streams) {
 				return fmt.Errorf("serve: fault for unknown stream %d", idx)
 			}
-			cycle := int(d.u32())
-			op := d.str8()
-			msg := d.str16()
-			if d.err != nil {
-				return fmt.Errorf("serve: malformed fault frame: %w", d.err)
+			if err := decodeFaultInto(&d, &streams[idx]); err != nil {
+				return err
 			}
-			// Reconstruct the exact typed error a serial System.Run
-			// raises: same operator class, abort cycle and message.
-			streams[idx].Err = &dp.FaultError{Op: op, Cycle: cycle, Msg: msg}
 			answered++
 		case frameError:
 			idx := d.u32()
@@ -257,7 +385,7 @@ func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
 			if int(idx) >= len(streams) {
 				return fmt.Errorf("serve: error for unknown stream %d", idx)
 			}
-			streams[idx].Err = fmt.Errorf("serve: %s", msg)
+			streams[idx].Err = streamErrFromMsg(msg)
 			answered++
 		case frameDone:
 			werrv := <-werr
@@ -277,6 +405,215 @@ func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
 			return fmt.Errorf("serve: unexpected response frame %q", typ)
 		}
 	}
+}
+
+// runPipelined registers the request in the demux table, streams its
+// frames (interleaving with other goroutines' requests frame-by-frame)
+// and parks until the reader goroutine delivers the final status.
+func (c *Conn) runPipelined(kernel string, streams []netlist.Job) error {
+	for i := range streams {
+		streams[i].Err = nil
+	}
+	p := &pending{kernel: kernel, jobs: streams, done: make(chan error, 1)}
+	req, err := c.register(p)
+	if err != nil {
+		return err
+	}
+	e := c.encs.Get().(*encoder)
+	e.begin(frameOpen, req)
+	e.str8(kernel)
+	e.u32(uint32(len(streams)))
+	if err := c.writeFrame(e); err != nil {
+		c.abort(fmt.Errorf("serve: sending request: %w", err))
+		return <-p.done
+	}
+	for i := range streams {
+		e := c.encs.Get().(*encoder)
+		e.begin(frameStream, req)
+		e.u32(uint32(i))
+		e.u16(uint16(len(streams[i].Inputs)))
+		for name, vals := range streams[i].Inputs {
+			e.str8(name)
+			e.vals(vals)
+		}
+		if err := c.writeFrame(e); err != nil {
+			c.abort(fmt.Errorf("serve: sending request: %w", err))
+			return <-p.done
+		}
+	}
+	if err := <-p.done; err != nil {
+		return err
+	}
+	return firstStreamErr(kernel, streams)
+}
+
+// readLoop is a pipelined Conn's single reader: every response frame is
+// demuxed to its pending request, and the first frame that cannot be —
+// transport loss, malformed body, unattributable id — poisons the
+// connection (abort) rather than risking a cross-wired response.
+func (c *Conn) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	for {
+		payload, err := readFrame(c.c, buf)
+		if err != nil {
+			c.abort(fmt.Errorf("serve: reading response: %w", err))
+			return
+		}
+		buf = payload[:cap(payload)]
+		if cap(buf) > bufHighWater && len(payload) < bufHighWater/4 {
+			buf = nil // small traffic again: stop pinning the high-water scratch
+		}
+		if err := c.demux(payload); err != nil {
+			c.abort(err)
+			return
+		}
+	}
+}
+
+// demux attributes one response frame to its in-flight request and
+// applies it; a non-nil return is fatal for the connection. This is the
+// pipelined client's per-frame hot path — steady-state result frames
+// touch only the demux table and the request's own Job buffers.
+//
+//roccc:hotpath
+func (c *Conn) demux(payload []byte) error {
+	d := decoder{b: payload}
+	typ := d.u8()
+	req := d.u32()
+	c.pmu.Lock()
+	p := c.pending[req]
+	c.pmu.Unlock()
+	if p == nil {
+		if typ == frameError {
+			// Unattributable (or already-aborted request's) error:
+			// request-level protocol errors poison the connection,
+			// stragglers for retired ids cannot be trusted either.
+			d.u32()
+			return fmt.Errorf("serve: request failed: %s", d.str16())
+		}
+		return fmt.Errorf("serve: response for unknown request %d", req)
+	}
+	switch typ {
+	case frameKeepAlive:
+		if !p.ping {
+			return fmt.Errorf("serve: keepalive echo for request %d", req)
+		}
+		c.complete(req, p, nil)
+	case frameResult:
+		idx := int(d.u32())
+		if idx < 0 || idx >= len(p.jobs) {
+			return fmt.Errorf("serve: result for unknown stream %d of request %d", idx, req)
+		}
+		if err := decodeResultInto(&d, &p.jobs[idx]); err != nil {
+			return err
+		}
+		p.answered++
+	case frameFault:
+		idx := int(d.u32())
+		if idx < 0 || idx >= len(p.jobs) {
+			return fmt.Errorf("serve: fault for unknown stream %d of request %d", idx, req)
+		}
+		if err := decodeFaultInto(&d, &p.jobs[idx]); err != nil {
+			return err
+		}
+		p.answered++
+	case frameError:
+		idx := d.u32()
+		msg := d.str16()
+		if d.err != nil {
+			return fmt.Errorf("serve: malformed error frame: %w", d.err)
+		}
+		if idx == streamNone {
+			c.completeRequestError(req, p, msg)
+			return nil
+		}
+		if int(idx) >= len(p.jobs) {
+			return fmt.Errorf("serve: error for unknown stream %d of request %d", idx, req)
+		}
+		p.jobs[idx].Err = streamErrFromMsg(msg)
+		p.answered++
+	case frameDone:
+		if p.answered != len(p.jobs) {
+			return fmt.Errorf("serve: done after %d of %d responses", p.answered, len(p.jobs))
+		}
+		c.complete(req, p, nil)
+	default:
+		return fmt.Errorf("serve: unexpected response frame %q", typ)
+	}
+	return nil
+}
+
+// decodeResultInto fills one stream's Job from a result frame body
+// (after type/req/idx), reusing the Job's buffers when already sized.
+func decodeResultInto(d *decoder, job *netlist.Job) error {
+	job.Cycles = int(d.u64())
+	nouts := int(d.u16())
+	if job.Outputs == nil && nouts > 0 {
+		job.Outputs = make(map[string][]int64, nouts)
+	}
+	// A Job reused across kernels may hold keys this response never
+	// sends; remember the frame's names when the maps were already
+	// populated, and purge everything else afterwards. First fills
+	// (empty maps) skip the bookkeeping entirely.
+	var outNames, fbNames []string
+	collectOut := len(job.Outputs) > 0
+	for i := 0; i < nouts; i++ {
+		name := d.str8()
+		vals := d.valsInto(job.Outputs[name])
+		if d.err != nil {
+			break
+		}
+		job.Outputs[name] = vals
+		if collectOut {
+			outNames = append(outNames, name)
+		}
+	}
+	nfb := int(d.u16())
+	if job.Feedbacks == nil && nfb > 0 {
+		job.Feedbacks = make(map[string]int64, nfb)
+	}
+	collectFb := len(job.Feedbacks) > 0
+	for i := 0; i < nfb; i++ {
+		name := d.str8()
+		job.Feedbacks[name] = d.i64()
+		if collectFb {
+			fbNames = append(fbNames, name)
+		}
+	}
+	if d.err != nil {
+		return fmt.Errorf("serve: malformed result frame: %w", d.err)
+	}
+	if len(job.Outputs) > nouts {
+		purgeStale(job.Outputs, outNames)
+	}
+	if len(job.Feedbacks) > nfb {
+		purgeStale(job.Feedbacks, fbNames)
+	}
+	return nil
+}
+
+// decodeFaultInto reconstructs the exact typed error a serial
+// System.Run raises: same operator class, abort cycle and message.
+func decodeFaultInto(d *decoder, job *netlist.Job) error {
+	cycle := int(d.u32())
+	op := d.str8()
+	msg := d.str16()
+	if d.err != nil {
+		return fmt.Errorf("serve: malformed fault frame: %w", d.err)
+	}
+	job.Err = &dp.FaultError{Op: op, Cycle: cycle, Msg: msg}
+	return nil
+}
+
+// streamErrFromMsg rebuilds a stream-level error from its wire message,
+// recovering the typed BusyError for load-sheds so clients can match it
+// with errors.As.
+func streamErrFromMsg(msg string) error {
+	if be := parseBusy(msg); be != nil {
+		return be
+	}
+	return fmt.Errorf("serve: %s", msg)
 }
 
 // purgeStale deletes map keys that are not in keep (the names one

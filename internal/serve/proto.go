@@ -17,12 +17,15 @@ import (
 //
 // Client → server:
 //
+//	'V' hello   u16 protocol version (the highest the client speaks)
 //	'O' open    u8 kernel-name-len, name, u32 stream-count
 //	'S' stream  u32 stream-idx, u16 #arrays,
 //	            each: u8 name-len, name, u32 #elems, elems × i64
+//	'K' keepalive (empty body; the server echoes it, request id intact)
 //
 // Server → client:
 //
+//	'V' hello   u16 protocol version (min of client's and server's)
 //	'R' result  u32 stream-idx, u64 cycles,
 //	            u16 #outputs,   each: u8 name-len, name, u32 #elems, elems × i64
 //	            u16 #feedbacks, each: u8 name-len, name, i64 value
@@ -30,6 +33,7 @@ import (
 //	            u16 msg-len, msg      (a dp.FaultError, cycle-exact)
 //	'E' error   u32 stream-idx (0xFFFFFFFF = request-level), u16 msg-len, msg
 //	'D' done    (empty body: every stream of the request was answered)
+//	'K' keepalive (echo of a client keepalive)
 //
 // A request is one 'O' frame followed by exactly stream-count 'S'
 // frames. The server answers each stream with one 'R', 'F' or
@@ -41,13 +45,36 @@ import (
 // stream's own: the server stops reading while its per-connection
 // executor is saturated, and a client that stops reading eventually
 // blocks the server's writes.
+//
+// Versioning. Protocol v1 (PR 4) is the frame set above minus 'V' and
+// 'K': one request in flight per connection, no negotiation. Protocol
+// v2 keeps every v1 frame byte-for-byte identical and adds the hello
+// handshake and keepalive, which is what makes pipelining safe to rely
+// on: a v1 client's byte stream is a valid v2 byte stream, so v1
+// clients work against a v2 server unchanged, while a pipelined (v2)
+// client opens with 'V' and refuses to run against a server that does
+// not ack it — a v1 server answers the unknown frame type with a
+// request-level 'E' and closes. With the handshake done, one
+// connection carries many requests concurrently: request ids demux the
+// responses client-side, and the server's per-connection executor
+// becomes a per-request-slot semaphore shared by all of them.
 const (
-	frameOpen   = 'O'
-	frameStream = 'S'
-	frameResult = 'R'
-	frameFault  = 'F'
-	frameError  = 'E'
-	frameDone   = 'D'
+	frameHello     = 'V'
+	frameOpen      = 'O'
+	frameStream    = 'S'
+	frameResult    = 'R'
+	frameFault     = 'F'
+	frameError     = 'E'
+	frameDone      = 'D'
+	frameKeepAlive = 'K'
+)
+
+// Protocol versions. ProtoV1 is the PR 4 wire format (no hello, no
+// keepalive, serial requests); ProtoV2 adds negotiation, keepalive and
+// pipelined requests over one connection.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
 )
 
 // reqNone is the request id used for errors that cannot be attributed to

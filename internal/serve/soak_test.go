@@ -257,6 +257,175 @@ func TestServeSoak(t *testing.T) {
 	t.Logf("soak: %d clients, %d streams served (%d faults) in %s", clients, streams, faults, budget)
 }
 
+// TestServeSoakPipelined is the v2 soak: M pipelined connections, each
+// shared by K goroutines issuing concurrent requests with mixed kernels
+// and guaranteed faults, while a rude client loop opens raw connections,
+// delivers partial requests and hangs up. Zero dropped responses, zero
+// cross-wired bits (every response must match its own request's serial
+// ground truth), every connection still healthy, and every pool balanced
+// (Gets == Puts + Rejected) once the server drains.
+func TestServeSoakPipelined(t *testing.T) {
+	budget := 1500 * time.Millisecond
+	if testing.Short() {
+		budget = 300 * time.Millisecond
+	}
+	if env := os.Getenv("ROCCC_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("ROCCC_SOAK=%q: %v", env, err)
+		}
+		budget = d
+	}
+
+	specs := Table1Specs()
+	specs = append(specs, KernelSpec{
+		Name: "soak_divide", Source: dividerSource, Func: "divide",
+		Options: core.DefaultOptions(), Config: netlist.Config{BusElems: 1},
+	})
+	refs := buildSoakRefs(t, specs, 4)
+	if len(refs) < 8 {
+		t.Fatalf("only %d soak references built", len(refs))
+	}
+
+	srv := NewServer(0)
+	for _, spec := range specs {
+		if err := srv.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	nconns := min(4, max(2, runtime.GOMAXPROCS(0)))
+	const perConn = 3 // request goroutines sharing each connection
+	conns := make([]*Conn, nconns)
+	for i := range conns {
+		if conns[i], err = DialPipelined(ln.Addr().String()); err != nil {
+			t.Fatal(err)
+		}
+		defer conns[i].Close()
+	}
+
+	deadline := time.Now().Add(budget)
+	var requested, answered atomic.Int64
+	var next atomic.Int64
+	errCh := make(chan error, nconns*perConn+1)
+	var wg sync.WaitGroup
+
+	// The rude neighbor: raw connections that promise streams, deliver a
+	// partial request and vanish — pipelined traffic on the healthy
+	// connections must not notice.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return // listener closing under a tight budget
+			}
+			var e encoder
+			e.begin(frameOpen, 9)
+			e.str8("fir")
+			e.u32(3)
+			c.Write(e.finish())
+			if i%2 == 0 { // half the time, one real stream before vanishing
+				e.begin(frameStream, 9)
+				e.u32(0)
+				e.u16(1)
+				e.str8("A")
+				e.vals(refs[0].inputs["A"])
+				c.Write(e.finish())
+			}
+			c.Close()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for ci := range conns {
+		for w := 0; w < perConn; w++ {
+			wg.Add(1)
+			go func(conn *Conn, w int) {
+				defer wg.Done()
+				const batch = 3
+				jobs := make([]netlist.Job, batch)
+				picked := make([]*soakRef, batch)
+				for it := 0; time.Now().Before(deadline); it++ {
+					if w == 0 && it%7 == 3 {
+						if err := conn.Ping(); err != nil {
+							errCh <- fmt.Errorf("ping: %w", err)
+							return
+						}
+					}
+					sameKernel := refs[int(next.Add(1))%len(refs)].kernel
+					n := 0
+					for _, r := range pickRefs(refs, sameKernel) {
+						if n == batch {
+							break
+						}
+						picked[n] = r
+						jobs[n] = netlist.Job{Inputs: r.inputs,
+							Outputs: jobs[n].Outputs, Feedbacks: jobs[n].Feedbacks}
+						n++
+					}
+					requested.Add(int64(n))
+					err := conn.Run(sameKernel, jobs[:n])
+					if err != nil && !isExpectedFaultBatch(picked[:n]) {
+						errCh <- fmt.Errorf("%s: %v", sameKernel, err)
+						return
+					}
+					for i := 0; i < n; i++ {
+						if err := checkSoak(&jobs[i], picked[i]); err != nil {
+							errCh <- err
+							return
+						}
+						answered.Add(1)
+					}
+				}
+			}(conns[ci], w)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if requested.Load() != answered.Load() {
+		t.Fatalf("dropped responses: %d requested, %d answered", requested.Load(), answered.Load())
+	}
+	if answered.Load() == 0 {
+		t.Fatal("pipelined soak answered zero streams")
+	}
+	for i, c := range conns {
+		if !c.Healthy() {
+			t.Errorf("connection %d poisoned by the soak", i)
+		}
+	}
+	if !srv.WaitIdle(10 * time.Second) {
+		t.Fatal("server did not drain after the soak")
+	}
+	for name, st := range srv.Stats() {
+		if st.Gets != st.Puts+st.Rejected {
+			t.Errorf("pool %s unbalanced after soak: %+v", name, st)
+		}
+	}
+	streams, faults := srv.Served()
+	t.Logf("pipelined soak: %d conns x %d goroutines, %d streams served (%d faults) in %s",
+		nconns, perConn, streams, faults, budget)
+}
+
 // pickRefs returns every reference for one kernel (a request carries
 // streams for a single kernel).
 func pickRefs(refs []soakRef, kernel string) []*soakRef {
