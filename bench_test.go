@@ -25,6 +25,7 @@ import (
 	"roccc/internal/exp"
 	"roccc/internal/fleet"
 	"roccc/internal/ip"
+	"roccc/internal/load"
 	"roccc/internal/netlist"
 	"roccc/internal/serve"
 )
@@ -641,5 +642,22 @@ func BenchmarkFleetRouter(b *testing.B) {
 		if runner.RunStream(&job); job.Err != nil {
 			b.Fatal(job.Err)
 		}
+	}
+}
+
+// BenchmarkLoadRecord measures rocccload's per-arrival hot path: one
+// pacing-clock tick (Poisson interarrival draw) plus one histogram
+// record. The loadpath gate holds it at zero allocations so the
+// open-loop harness never perturbs the latencies it is measuring.
+func BenchmarkLoadRecord(b *testing.B) {
+	pacer := load.NewPacer(load.DistPoisson, 1e6, 42)
+	var h load.Hist
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(pacer.Next())
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatalf("recorded %d of %d ticks", h.Count(), b.N)
 	}
 }

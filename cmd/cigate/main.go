@@ -258,11 +258,20 @@ func runCmdGroup(g Group) ([]Verdict, Result, string) {
 	var violations float64
 	var seconds float64
 	found := false
+	extra := map[string]float64{}
 	for _, line := range strings.Split(out, "\n") {
 		if m := cmdSummary.FindStringSubmatch(line); m != nil {
 			violations, _ = strconv.ParseFloat(m[1], 64)
 			seconds, _ = strconv.ParseFloat(m[2], 64)
 			found = true
+		}
+		// Tools may report extra metrics as "cigate-metric <name> <value>"
+		// lines (rocccload's knee_rps etc.); they ride along into the
+		// trajectory next to the violation counts.
+		if f := strings.Fields(line); len(f) == 3 && f[0] == "cigate-metric" {
+			if v, err := strconv.ParseFloat(f[2], 64); err == nil {
+				extra[f[1]] = v
+			}
 		}
 	}
 
@@ -293,6 +302,9 @@ func runCmdGroup(g Group) ([]Verdict, Result, string) {
 	}
 	r := Result{Name: "cmd:" + g.Name,
 		Metrics: map[string]float64{"violations": violations, "seconds": seconds}}
+	for k, v := range extra {
+		r.Metrics[k] = v
+	}
 	return vs, r, out
 }
 

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"roccc/client"
 	"roccc/internal/dp"
 	"roccc/internal/fleet"
 	"roccc/internal/serve"
@@ -60,6 +61,11 @@ func main() {
 	}
 	if *workers < 0 || *maxIdle < 0 || *grace <= 0 || *shards < 1 || *maxResident < 0 || *hygiene <= 0 {
 		fmt.Fprintln(os.Stderr, "rocccserve: -workers, -max-idle and -max-resident must be >= 0 (0 = default), -shards >= 1, -grace and -hygiene positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *maxResident > 0 && *shards == 1 {
+		fmt.Fprintln(os.Stderr, "rocccserve: -max-resident needs a fleet (-shards > 1); a single server never evicts")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,10 +133,8 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", serve.FleetMetricsHandler(func() any {
 			if router != nil {
-				return struct {
-					Front serve.Metrics `json:"front"`
-					Fleet fleet.Metrics `json:"fleet"`
-				}{front.Metrics(), router.Metrics()}
+				fm := router.Metrics()
+				return client.FleetSnapshot{Front: front.Metrics(), Fleet: &fm}
 			}
 			return front.Metrics()
 		}))

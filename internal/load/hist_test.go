@@ -1,0 +1,145 @@
+package load
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// histOracle returns the exact quantile from a sorted copy of the
+// recorded values (negatives clamped like Record does): the reference
+// the histogram's bucketed answer is checked against.
+func histOracle(vals []int64, q float64) int64 {
+	sorted := make([]int64, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		sorted[i] = v
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// adversarialCases are distributions chosen to stress the bucketing:
+// constants, bucket-boundary values, octave jumps, heavy tails, the
+// int64 extremes, and negatives (clamped to zero).
+func adversarialCases() map[string][]int64 {
+	cases := map[string][]int64{
+		"single":    {42},
+		"zeros":     make([]int64, 100),
+		"negatives": {-9_000_000_000, -5, -1, 0, 3, 7},
+		"extremes":  {0, 1, math.MaxInt64, math.MaxInt64 - 1, 1 << 62},
+	}
+	constant := make([]int64, 5000)
+	for i := range constant {
+		constant[i] = 1000
+	}
+	cases["constant"] = constant
+
+	var edges []int64
+	for k := uint(0); k < 63; k++ {
+		v := int64(1) << k
+		edges = append(edges, v-1, v, v+1)
+	}
+	cases["bucket-edges"] = edges
+
+	uniform := make([]int64, 100_000)
+	for i := range uniform {
+		uniform[i] = int64(i + 1)
+	}
+	cases["uniform"] = uniform
+
+	// 10k fast requests with ten huge stragglers: the tail quantiles
+	// must see the stragglers, not average them away.
+	tail := make([]int64, 0, 10_010)
+	rng := uint64(0xfeed)
+	for i := 0; i < 10_000; i++ {
+		tail = append(tail, int64(splitmix64(&rng)%50_000))
+	}
+	for i := 0; i < 10; i++ {
+		tail = append(tail, int64(5e9)+int64(i)*1e8)
+	}
+	cases["heavy-tail"] = tail
+	return cases
+}
+
+// TestHistQuantileOracle checks every quantile against the sorted-slice
+// oracle: the histogram reports a bucket upper bound, so the answer
+// must be >= the exact value and within the log-linear layout's 1/16
+// relative-error envelope above it.
+func TestHistQuantileOracle(t *testing.T) {
+	quantiles := []float64{0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, vals := range adversarialCases() {
+		t.Run(name, func(t *testing.T) {
+			var h Hist
+			for _, v := range vals {
+				h.Record(v)
+			}
+			if h.Count() != uint64(len(vals)) {
+				t.Fatalf("recorded %d of %d values", h.Count(), len(vals))
+			}
+			for _, q := range quantiles {
+				got := h.Quantile(q)
+				want := histOracle(vals, q)
+				if got < want {
+					t.Errorf("q%.3f = %d, below the exact value %d", q, got, want)
+				}
+				if slack := want>>histSubBits + 1; got-want > slack {
+					t.Errorf("q%.3f = %d, exact %d: outside the 1/16 envelope (+%d)", q, got, want, slack)
+				}
+			}
+		})
+	}
+}
+
+// TestHistMergeAssociative proves worker histograms can be folded in
+// any grouping: (a+b)+c, a+(b+c) and one histogram fed every value all
+// agree bucket-for-bucket (Hist is comparable, so == is exhaustive).
+func TestHistMergeAssociative(t *testing.T) {
+	mk := func(seed uint64, n int) *Hist {
+		var h Hist
+		rng := seed
+		for i := 0; i < n; i++ {
+			h.Record(int64(splitmix64(&rng) >> 16))
+		}
+		return &h
+	}
+	a, b, c := mk(1, 1000), mk(2, 500), mk(3, 2000)
+
+	var left Hist // (a+b)+c
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	var bc, right Hist // a+(b+c)
+	bc.Merge(b)
+	bc.Merge(c)
+	right.Merge(a)
+	right.Merge(&bc)
+
+	if left != right {
+		t.Fatal("(a+b)+c != a+(b+c)")
+	}
+
+	all := &Hist{}
+	for seed, n := range map[uint64]int{1: 1000, 2: 500, 3: 2000} {
+		rng := seed
+		for i := 0; i < n; i++ {
+			all.Record(int64(splitmix64(&rng) >> 16))
+		}
+	}
+	if left != *all {
+		t.Fatal("merged histogram differs from recording every value into one")
+	}
+	if left.Count() != 3500 {
+		t.Fatalf("merged count = %d, want 3500", left.Count())
+	}
+}

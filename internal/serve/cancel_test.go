@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"roccc/internal/netlist"
+)
+
+// accumBatch builds n accum streams with distinct inputs.
+func accumBatch(n int) []netlist.Job {
+	jobs := make([]netlist.Job, n)
+	for i := range jobs {
+		in := make([]int64, 32)
+		for j := range in {
+			in[j] = int64(i + j)
+		}
+		jobs[i].Inputs = map[string][]int64{"A": in}
+	}
+	return jobs
+}
+
+// TestRunContextSlotCancel cancels a request while it is still waiting
+// for a connection slot: a single-slot pipelined connection is occupied
+// by a long batch, so the second RunContext blocks on slot acquisition
+// and must return the context error without corrupting the connection
+// or stealing the slot.
+func TestRunContextSlotCancel(t *testing.T) {
+	srv, addr := startServer(t, 2)
+	c, err := DialContext(context.Background(), addr, WithPipelined(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Warm the pool so the long batch below is sim time, not compile.
+	if err := c.Run("accum", accumBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	long := make(chan error, 1)
+	go func() { long <- c.RunContext(context.Background(), "accum", accumBatch(20000)) }()
+
+	// Let the long batch take the only slot, then time out behind it.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = c.RunContext(ctx, "accum", accumBatch(1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slot-blocked RunContext = %v, want DeadlineExceeded", err)
+	}
+
+	if err := <-long; err != nil {
+		t.Fatalf("long batch on the held slot failed: %v", err)
+	}
+	if !c.Healthy() {
+		t.Fatal("connection poisoned after a slot-wait cancellation")
+	}
+	if err := c.Run("accum", accumBatch(2)); err != nil {
+		t.Fatalf("follow-up request after cancellation: %v", err)
+	}
+	assertPoolsBalanced(t, srv)
+}
+
+// TestRunContextDeadlineMidFlight cancels a request that is already on
+// the wire: a batch far too large for its deadline. The cancelled
+// request must release its slot, the demux loop must stay healthy as
+// the server's late frames for the dead request drain, and a follow-up
+// request on the same connection must succeed with the pools balanced
+// afterwards — the ISSUE's Gets == Puts + Rejected invariant.
+func TestRunContextDeadlineMidFlight(t *testing.T) {
+	srv, addr := startServer(t, 2)
+	c, err := DialContext(context.Background(), addr, WithPipelined(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run("accum", accumBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err = c.RunContext(ctx, "accum", accumBatch(20000))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-flight RunContext = %v, want DeadlineExceeded", err)
+	}
+	if !c.Healthy() {
+		t.Fatal("connection poisoned by a mid-flight cancellation")
+	}
+
+	// The demux loop must survive the dead request's late frames: the
+	// follow-up runs on the same connection, interleaved with them.
+	follow := accumBatch(3)
+	if err := c.RunContext(context.Background(), "accum", follow); err != nil {
+		t.Fatalf("follow-up request on the same connection: %v", err)
+	}
+	for i, job := range follow {
+		if job.Err != nil || job.Cycles == 0 {
+			t.Fatalf("follow-up stream %d: err=%v cycles=%d", i, job.Err, job.Cycles)
+		}
+	}
+	if !c.Healthy() {
+		t.Fatal("connection unhealthy after the follow-up")
+	}
+	assertPoolsBalanced(t, srv)
+}
+
+// assertPoolsBalanced waits for the server to drain and checks every
+// kernel pool returned each System it handed out.
+func assertPoolsBalanced(t *testing.T, srv *Server) {
+	t.Helper()
+	if !srv.WaitIdle(30 * time.Second) {
+		t.Fatal("server still has in-flight streams")
+	}
+	for name, st := range srv.Stats() {
+		if st.Gets != st.Puts+st.Rejected {
+			t.Errorf("pool %s unbalanced: gets=%d puts=%d rejected=%d", name, st.Gets, st.Puts, st.Rejected)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"roccc/internal/dp"
 	"roccc/internal/netlist"
@@ -70,13 +72,13 @@ func (c *Local) Run(kernel string, streams []netlist.Job) error {
 // Close is a no-op: the Local client owns no transport.
 func (c *Local) Close() error { return nil }
 
-// Conn is the TCP client. A Dial'd Conn speaks protocol v1: one request
-// in flight at a time, not safe for concurrent use (open one Conn per
-// client goroutine — they multiplex fine on the server side). A
-// DialPipelined Conn speaks v2: a reader goroutine demuxes responses by
-// request id, so any number of goroutines may Run on the same Conn
-// concurrently and their requests share the connection's server-side
-// executor slots.
+// Conn is the TCP client. A serial (v1) Conn carries one request in
+// flight at a time and is not safe for concurrent use (open one Conn
+// per client goroutine — they multiplex fine on the server side). A
+// pipelined Conn (DialContext with WithPipelined) speaks v2: a reader
+// goroutine demuxes responses by request id, so any number of
+// goroutines may Run on the same Conn concurrently and their requests
+// share the connection's server-side executor slots.
 type Conn struct {
 	c    net.Conn
 	enc  encoder
@@ -85,8 +87,12 @@ type Conn struct {
 
 	// Pipelined (v2) state. encs pools per-request frame encoders; wmu
 	// makes each frame a single uninterleaved Write; pmu guards the
-	// pending demux table and the latched transport error.
+	// pending demux table and the latched transport error; slots, when
+	// non-nil, is the client-side request-slot semaphore
+	// (WithPipelined(n) with n > 0).
 	pipelined  bool
+	hsVersion  uint16
+	slots      chan struct{}
 	encs       sync.Pool
 	wmu        sync.Mutex
 	pmu        sync.Mutex
@@ -98,41 +104,101 @@ type Conn struct {
 
 // pending is one in-flight pipelined request. jobs and answered are
 // owned by the reader goroutine until done is signalled; the Run
-// goroutine reads the jobs only after receiving on done.
+// goroutine reads the jobs only after receiving on done. mu orders a
+// RunContext cancellation against the reader's in-progress decode: once
+// cancelled is set the reader drops the request's remaining frames
+// without touching jobs, so the caller may reuse its Job buffers the
+// moment RunContext returns.
 type pending struct {
 	kernel   string
 	jobs     []netlist.Job
 	answered int
 	ping     bool
 	done     chan error
+
+	mu        sync.Mutex
+	cancelled bool
 }
 
-// Dial connects to a rocccserve address, speaking protocol v1 (serial
-// requests). v1 byte streams are valid v2 byte streams, so a Dial'd
-// Conn works against both v1 and v2 servers.
-func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+// DialOption configures DialContext.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	pipelined bool
+	slots     int
+	timeout   time.Duration
+	version   int
+}
+
+// WithPipelined negotiates protocol v2 and returns a Conn that is safe
+// for concurrent Run/RunContext calls: a reader goroutine demuxes
+// responses by request id. slots > 0 bounds the connection's concurrent
+// in-flight requests client-side (RunContext blocks for a free slot, or
+// until its context cancels); slots <= 0 leaves admission entirely to
+// the server's per-connection executor budget.
+func WithPipelined(slots int) DialOption {
+	return func(c *dialConfig) {
+		c.pipelined = true
+		c.slots = slots
+	}
+}
+
+// WithDialTimeout bounds the TCP connect (and, for pipelined conns, the
+// hello handshake's send). Zero means no timeout beyond the context's.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithProtocolVersion overrides the protocol version the client offers
+// in its hello (default ProtoV2). Pipelined mode requires the
+// negotiated version to be >= ProtoV2, so offering ProtoV1 together
+// with WithPipelined fails at dial with a clear error.
+func WithProtocolVersion(v int) DialOption {
+	return func(c *dialConfig) { c.version = v }
+}
+
+// DialContext connects to a rocccserve address. With no options the
+// Conn speaks protocol v1 (serial requests, no handshake — v1 byte
+// streams are valid v2 byte streams, so it works against both v1 and
+// v2 servers). WithPipelined negotiates v2 and enables concurrent
+// requests over the one socket. ctx bounds the dial (and the v2
+// handshake); it does not outlive DialContext.
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Conn, error) {
+	cfg := dialConfig{version: ProtoV2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.version < ProtoV1 || cfg.version > ProtoV2 {
+		return nil, fmt.Errorf("serve: unsupported protocol version %d (have v%d..v%d)", cfg.version, ProtoV1, ProtoV2)
+	}
+	d := net.Dialer{Timeout: cfg.timeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{c: c}, nil
-}
-
-// DialPipelined connects to a rocccserve address and negotiates
-// protocol v2. Dialing a v1 server fails with a clear error (a v1
-// server answers the hello frame with a request-level error and closes
-// the connection). The returned Conn is safe for concurrent Run calls.
-func DialPipelined(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	if !cfg.pipelined {
+		return &Conn{c: nc}, nil
 	}
 	c := &Conn{c: nc, pipelined: true,
+		hsVersion:  uint16(cfg.version),
 		pending:    map[uint32]*pending{},
 		readerDone: make(chan struct{}),
 	}
+	if cfg.slots > 0 {
+		c.slots = make(chan struct{}, cfg.slots)
+	}
 	c.encs.New = func() any { return new(encoder) }
-	if err := c.handshake(); err != nil {
+	// The handshake round trip honours the context: a cancelled ctx
+	// closes the socket under the blocked read.
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() { nc.Close() })
+	}
+	err = c.handshake()
+	if stop != nil && !stop() {
+		err = fmt.Errorf("serve: dial %s: %w", addr, ctx.Err())
+	}
+	if err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -140,11 +206,27 @@ func DialPipelined(addr string) (*Conn, error) {
 	return c, nil
 }
 
+// Dial connects speaking protocol v1 (serial requests). It is a thin
+// wrapper kept for existing call sites; new code should use
+// DialContext.
+func Dial(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialPipelined connects and negotiates protocol v2 with unbounded
+// client-side request slots. It is a thin wrapper kept for existing
+// call sites; new code should use DialContext with WithPipelined.
+// Dialing a v1 server fails with a clear error (a v1 server answers the
+// hello frame with a request-level error and closes the connection).
+func DialPipelined(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr, WithPipelined(0))
+}
+
 // handshake sends the client hello and classifies the server's answer.
 func (c *Conn) handshake() error {
 	e := &c.enc
 	e.begin(frameHello, 0)
-	e.u16(ProtoV2)
+	e.u16(c.hsVersion)
 	if _, err := c.c.Write(e.finish()); err != nil {
 		return fmt.Errorf("serve: sending hello: %w", err)
 	}
@@ -283,7 +365,7 @@ func (c *Conn) completeRequestError(req uint32, p *pending, msg string) {
 // the Conn fail fast instead of desynchronizing.
 func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
 	if c.pipelined {
-		return c.runPipelined(kernel, streams)
+		return c.runPipelined(context.Background(), kernel, streams)
 	}
 	c.next++
 	req := c.next
@@ -407,10 +489,47 @@ func (c *Conn) Run(kernel string, streams []netlist.Job) (err error) {
 	}
 }
 
+// RunContext is Run with a per-request deadline/cancel. On a pipelined
+// Conn a cancelled request releases its client-side slot immediately
+// and leaves the connection healthy: the reader keeps draining the
+// request's late frames but stops writing into the caller's Job
+// buffers, so they are safe to reuse the moment RunContext returns.
+// (The server still finishes the work — v2 has no cancel frame — so the
+// server-side executor slot frees when it completes.) On a serial (v1)
+// Conn the protocol cannot abandon a request mid-flight, so
+// cancellation closes the connection under the blocked I/O and the Conn
+// is dead afterwards.
+func (c *Conn) RunContext(ctx context.Context, kernel string, streams []netlist.Job) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.pipelined {
+		return c.runPipelined(ctx, kernel, streams)
+	}
+	if ctx.Done() == nil {
+		return c.Run(kernel, streams)
+	}
+	stop := context.AfterFunc(ctx, func() { c.c.Close() })
+	err := c.Run(kernel, streams)
+	if !stop() && err != nil && ctx.Err() != nil {
+		return fmt.Errorf("serve: %s: %w", kernel, ctx.Err())
+	}
+	return err
+}
+
 // runPipelined registers the request in the demux table, streams its
 // frames (interleaving with other goroutines' requests frame-by-frame)
-// and parks until the reader goroutine delivers the final status.
-func (c *Conn) runPipelined(kernel string, streams []netlist.Job) error {
+// and parks until the reader goroutine delivers the final status or ctx
+// cancels the wait.
+func (c *Conn) runPipelined(ctx context.Context, kernel string, streams []netlist.Job) error {
+	if c.slots != nil {
+		select {
+		case c.slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer func() { <-c.slots }()
+	}
 	for i := range streams {
 		streams[i].Err = nil
 	}
@@ -441,10 +560,49 @@ func (c *Conn) runPipelined(kernel string, streams []netlist.Job) error {
 			return <-p.done
 		}
 	}
-	if err := <-p.done; err != nil {
-		return err
+	// Every frame is sent, so the server owes exactly one terminal
+	// frame; cancellation waits only here — aborting mid-send would
+	// leave the server's owed-stream accounting dangling.
+	var derr error
+	if ctx.Done() == nil {
+		derr = <-p.done
+	} else {
+		select {
+		case derr = <-p.done:
+		case <-ctx.Done():
+			if c.cancel(req, p) {
+				return ctx.Err()
+			}
+			// The request reached a terminal state concurrently with
+			// the cancel: take its real result.
+			derr = <-p.done
+		}
+	}
+	if derr != nil {
+		return derr
 	}
 	return firstStreamErr(kernel, streams)
+}
+
+// cancel detaches a cancelled request from its Job buffers. It reports
+// whether the request was still in flight: the pending entry stays in
+// the demux table (so late frames attribute cleanly instead of
+// poisoning the connection), but the reader stops decoding into the
+// jobs. A false return means a terminal status raced the cancel and is
+// already on p.done.
+func (c *Conn) cancel(req uint32, p *pending) bool {
+	c.pmu.Lock()
+	inflight := c.pending[req] == p
+	c.pmu.Unlock()
+	if !inflight {
+		return false
+	}
+	// Taking p.mu blocks until any in-progress decode for this request
+	// finishes; afterwards the reader drops the request's frames.
+	p.mu.Lock()
+	p.cancelled = true
+	p.mu.Unlock()
+	return true
 }
 
 // readLoop is a pipelined Conn's single reader: every response frame is
@@ -505,18 +663,28 @@ func (c *Conn) demux(payload []byte) error {
 		if idx < 0 || idx >= len(p.jobs) {
 			return fmt.Errorf("serve: result for unknown stream %d of request %d", idx, req)
 		}
-		if err := decodeResultInto(&d, &p.jobs[idx]); err != nil {
-			return err
+		p.mu.Lock()
+		if !p.cancelled {
+			if err := decodeResultInto(&d, &p.jobs[idx]); err != nil {
+				p.mu.Unlock()
+				return err
+			}
 		}
+		p.mu.Unlock()
 		p.answered++
 	case frameFault:
 		idx := int(d.u32())
 		if idx < 0 || idx >= len(p.jobs) {
 			return fmt.Errorf("serve: fault for unknown stream %d of request %d", idx, req)
 		}
-		if err := decodeFaultInto(&d, &p.jobs[idx]); err != nil {
-			return err
+		p.mu.Lock()
+		if !p.cancelled {
+			if err := decodeFaultInto(&d, &p.jobs[idx]); err != nil {
+				p.mu.Unlock()
+				return err
+			}
 		}
+		p.mu.Unlock()
 		p.answered++
 	case frameError:
 		idx := d.u32()
@@ -531,7 +699,11 @@ func (c *Conn) demux(payload []byte) error {
 		if int(idx) >= len(p.jobs) {
 			return fmt.Errorf("serve: error for unknown stream %d of request %d", idx, req)
 		}
-		p.jobs[idx].Err = streamErrFromMsg(msg)
+		p.mu.Lock()
+		if !p.cancelled {
+			p.jobs[idx].Err = streamErrFromMsg(msg)
+		}
+		p.mu.Unlock()
 		p.answered++
 	case frameDone:
 		if p.answered != len(p.jobs) {
