@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"roccc/internal/bench"
+	"roccc/internal/calib"
 	"roccc/internal/dp"
 	"roccc/internal/exp"
 	"roccc/internal/fleet"
@@ -659,5 +660,33 @@ func BenchmarkLoadRecord(b *testing.B) {
 	}
 	if h.Count() != uint64(b.N) {
 		b.Fatalf("recorded %d of %d ticks", h.Count(), b.N)
+	}
+}
+
+// BenchmarkCalibrateTrial measures the calibration trial's timed region
+// — calib.RunIters, the only code inside a trial's ns/iter measurement.
+// The calibrate gate holds it at zero allocations: a measurement loop
+// that allocated would fold GC noise into every backend pick.
+func BenchmarkCalibrateTrial(b *testing.B) {
+	res, err := Compile(exp.Fig3Source, "fir", DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := netlist.NewSystem(res.Kernel, res.Datapath, netlist.Config{BusElems: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feeds := calib.FeedsFor(calib.InputsFor(res.Kernel, calib.DefaultSeed))
+	// One unmeasured pass so pool-free setup (plan cache, lazy buffers)
+	// lands outside the measurement, as a trial's warmup does.
+	if err := calib.RunIters(sys, feeds, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := calib.RunIters(sys, feeds, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

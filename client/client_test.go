@@ -1,0 +1,239 @@
+package client
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fleetGolden is a fleet-shaped /metrics document as the front-end of a
+// sharded rocccserve writes it: the front server snapshot plus the
+// router's, with one in-process shard carrying a full per-shard server
+// snapshot whose kernel was calibrated (configured interp, picked
+// threaded, pool swapped). Optional fields are exercised both present
+// (shard 0) and absent (shard 1, a TCP shard; the fir kernel's
+// never-calibrated sibling).
+const fleetGolden = `{
+  "front": {
+    "proto": 2,
+    "workers": 8,
+    "draining": false,
+    "served": 420,
+    "faults": 3,
+    "sheds": 7,
+    "in_flight": 1,
+    "calibrations": 0,
+    "calib_swaps": 0,
+    "kernels": [],
+    "conns": [
+      {"remote": "127.0.0.1:50001", "opens": 2, "streams": 420, "faults": 3}
+    ]
+  },
+  "fleet": {
+    "calibrations": 6,
+    "calib_swaps": 2,
+    "shards": [
+      {
+        "index": 0,
+        "in_process": true,
+        "slots": 48,
+        "in_flight": 0,
+        "high_water": 12,
+        "streams": 300,
+        "sheds": 7,
+        "idle_conns": 0,
+        "calibrations": 6,
+        "calib_swaps": 2,
+        "server": {
+          "proto": 2,
+          "workers": 4,
+          "draining": false,
+          "served": 300,
+          "faults": 2,
+          "sheds": 0,
+          "in_flight": 0,
+          "calibrations": 6,
+          "calib_swaps": 2,
+          "kernels": [
+            {
+              "kernel": "mul_acc",
+              "compiled": true,
+              "resident": true,
+              "backend_configured": "interp",
+              "backend_active": "threaded",
+              "closed_form_cone": true,
+              "calibrations": 2,
+              "calibration": {
+                "kernel": "mul_acc",
+                "configured": "interp",
+                "picked": "threaded",
+                "switched": true,
+                "samples": [
+                  {"backend": "interp", "ns_per_iter": 79000},
+                  {"backend": "threaded", "ns_per_iter": 36000},
+                  {"backend": "cone", "ns_per_iter": 41000}
+                ]
+              },
+              "opens": 10,
+              "streams": 200,
+              "faults": 0,
+              "in_flight": 0,
+              "high_water": 6,
+              "evictions": 0,
+              "last_use": 44,
+              "max_idle": 8,
+              "pool": {"Gets": 200, "Puts": 200, "Rejected": 0}
+            },
+            {
+              "kernel": "fir",
+              "compiled": true,
+              "resident": false,
+              "backend_configured": "interp",
+              "closed_form_cone": false,
+              "opens": 4,
+              "streams": 100,
+              "faults": 2,
+              "in_flight": 0,
+              "high_water": 3,
+              "evictions": 1,
+              "last_use": 40,
+              "max_idle": 8
+            }
+          ],
+          "conns": []
+        }
+      },
+      {
+        "index": 1,
+        "addr": "10.0.0.7:9944",
+        "in_process": false,
+        "slots": 48,
+        "in_flight": 1,
+        "high_water": 9,
+        "streams": 120,
+        "sheds": 0,
+        "idle_conns": 2
+      }
+    ],
+    "kernels": [
+      {"kernel": "fir", "shard": 1, "uses": 120, "in_flight": 1, "high_water": 9, "last_use": 43},
+      {"kernel": "mul_acc", "shard": 0, "uses": 300, "in_flight": 0, "high_water": 12, "last_use": 44}
+    ]
+  }
+}`
+
+// TestParseMetricsFleetGolden pins the fleet document shape end to end:
+// per-shard servers, per-kernel calibration verdicts with raw samples,
+// and the optional fields' presence/absence semantics.
+func TestParseMetricsFleetGolden(t *testing.T) {
+	snap, err := ParseMetrics([]byte(fleetGolden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Front.Served != 420 || snap.Front.Sheds != 7 || len(snap.Front.Conns) != 1 {
+		t.Fatalf("front: %+v", snap.Front)
+	}
+	if snap.Fleet == nil {
+		t.Fatal("fleet section dropped")
+	}
+	if snap.Fleet.Calibrations != 6 || snap.Fleet.CalibSwaps != 2 {
+		t.Fatalf("fleet calibration totals: %+v", snap.Fleet)
+	}
+	if len(snap.Fleet.Shards) != 2 || len(snap.Fleet.Kernels) != 2 {
+		t.Fatalf("shards/kernels: %d/%d", len(snap.Fleet.Shards), len(snap.Fleet.Kernels))
+	}
+
+	local := snap.Fleet.Shards[0]
+	if !local.InProcess || local.Server == nil || local.Calibrations != 6 || local.CalibSwaps != 2 {
+		t.Fatalf("local shard: %+v", local)
+	}
+	kernels := local.Server.Kernels
+	if len(kernels) != 2 {
+		t.Fatalf("shard kernels: %+v", kernels)
+	}
+	ma := kernels[0]
+	if ma.Kernel != "mul_acc" || ma.BackendConfigured != "interp" || ma.BackendActive != "threaded" {
+		t.Fatalf("mul_acc backends: %+v", ma)
+	}
+	if !ma.ClosedFormCone || ma.Calibrations != 2 || ma.Calibration == nil {
+		t.Fatalf("mul_acc calibration plumbing: %+v", ma)
+	}
+	cal := ma.Calibration
+	if cal.Configured != "interp" || cal.Picked != "threaded" || !cal.Switched {
+		t.Fatalf("calibration verdict: %+v", cal)
+	}
+	if len(cal.Samples) != 3 || cal.Samples[1].Backend != "threaded" || cal.Samples[1].NsPerIter != 36000 {
+		t.Fatalf("calibration samples: %+v", cal.Samples)
+	}
+	if ma.Pool == nil || ma.Pool.Gets != ma.Pool.Puts+ma.Pool.Rejected {
+		t.Fatalf("mul_acc pool: %+v", ma.Pool)
+	}
+
+	// Optional fields absent: the evicted fir kernel has no active
+	// backend, no calibration and no pool; the TCP shard no server.
+	fir := kernels[1]
+	if fir.BackendActive != "" || fir.Calibration != nil || fir.Calibrations != 0 || fir.Pool != nil {
+		t.Fatalf("fir optional fields should be zero: %+v", fir)
+	}
+	tcp := snap.Fleet.Shards[1]
+	if tcp.InProcess || tcp.Server != nil || tcp.Calibrations != 0 || tcp.Addr != "10.0.0.7:9944" {
+		t.Fatalf("tcp shard: %+v", tcp)
+	}
+}
+
+// TestParseMetricsBareServer: a single-server rocccserve serves the
+// bare Metrics object; ParseMetrics must normalize it into a snapshot
+// with no fleet section.
+func TestParseMetricsBareServer(t *testing.T) {
+	body := `{"proto": 2, "workers": 4, "served": 9, "calibrations": 3, "calib_swaps": 1,
+	          "kernels": [{"kernel": "fir", "compiled": true, "backend_configured": "cone"}]}`
+	snap, err := ParseMetrics([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Fleet != nil {
+		t.Fatalf("bare server grew a fleet section: %+v", snap.Fleet)
+	}
+	if snap.Front.Served != 9 || snap.Front.Calibrations != 3 || snap.Front.CalibSwaps != 1 {
+		t.Fatalf("front: %+v", snap.Front)
+	}
+	if len(snap.Front.Kernels) != 1 || snap.Front.Kernels[0].BackendConfigured != "cone" {
+		t.Fatalf("kernels: %+v", snap.Front.Kernels)
+	}
+}
+
+// TestParseMetricsRoundTrip: a snapshot built from the exported types
+// must survive marshal -> ParseMetrics unchanged, so the golden fixture
+// can never drift from the structs silently.
+func TestParseMetricsRoundTrip(t *testing.T) {
+	want, err := ParseMetrics([]byte(fleetGolden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMetrics(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseMetricsMalformed: both document shapes reject garbage with a
+// diagnosis naming the layer that failed.
+func TestParseMetricsMalformed(t *testing.T) {
+	if _, err := ParseMetrics([]byte(`[1, 2]`)); err == nil || !strings.Contains(err.Error(), "malformed metrics") {
+		t.Fatalf("array accepted: %v", err)
+	}
+	if _, err := ParseMetrics([]byte(`{"front": 7}`)); err == nil || !strings.Contains(err.Error(), "malformed fleet") {
+		t.Fatalf("bad fleet shape accepted: %v", err)
+	}
+	if _, err := ParseMetrics([]byte(`{"served": "many"}`)); err == nil || !strings.Contains(err.Error(), "malformed server") {
+		t.Fatalf("bad server shape accepted: %v", err)
+	}
+}

@@ -16,14 +16,19 @@
 //	rocccload -local 2                  # self-hosted 2-shard fleet, knee search
 //	rocccload -addr host:9944 -rate 200 # one fixed-rate step on a live fleet
 //	rocccload -local 2 -gate -out LOAD_report.json
+//	rocccload -local 2 -calibrate -gate # before/after backend auto-pick knees
 //
 // Without -rate the harness runs the knee search: step-doubling then
 // bisection to the highest rate where p99 stays under -slo with zero
 // non-shed errors, then post-knee probes proving the shed rate rises
-// monotonically under deepening overload. -out writes the full
-// machine-readable report; -gate evaluates the load gate contract and
-// prints a cigate-parseable summary ("N violations in X.XXs") plus
-// cigate-metric lines folded into the BENCH trajectory.
+// monotonically under deepening overload. -calibrate (local fleets
+// only) runs the knee search twice — once on the configured backends,
+// then again after calibrating every kernel onto its measured fastest
+// backend — so the report carries the auto-pick's payoff as a
+// before/after pair. -out writes the full machine-readable report;
+// -gate evaluates the load gate contract and prints a cigate-parseable
+// summary ("N violations in X.XXs") plus cigate-metric lines folded
+// into the BENCH trajectory.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"roccc/internal/calib"
 	"roccc/internal/dp"
 	"roccc/internal/load"
 )
@@ -66,6 +72,8 @@ func main() {
 		maxRate   = flag.Float64("max-rate", 1<<20, "knee search ceiling (req/s)")
 		bisects   = flag.Int("bisects", 3, "bisection refinements after the doubling phase")
 
+		calibrate = flag.Bool("calibrate", false, "after the knee search, calibrate every kernel's backend and search again (local fleets only; proves the auto-pick's payoff)")
+
 		out       = flag.String("out", "", "write the machine-readable JSON report here")
 		gate      = flag.Bool("gate", false, "evaluate the load gate contract and print a cigate summary")
 		gateCPU   = flag.Int("gate-min-cpu", 4, "CPU count at or above which the knee rate floor applies")
@@ -96,6 +104,10 @@ func main() {
 		usageErr("-fault-frac and -disc-frac must be >= 0 and sum below 1")
 	case *gate && *rate > 0:
 		usageErr("-gate needs the knee search (drop -rate)")
+	case *calibrate && *rate > 0:
+		usageErr("-calibrate compares knee searches (drop -rate)")
+	case *calibrate && *local == 0:
+		usageErr("-calibrate needs a -local fleet (external fleets own their calibration via rocccserve -calibrate)")
 	case *gateCPU < 1 || *gateFloor < 0:
 		usageErr("-gate-min-cpu must be positive and -gate-floor >= 0")
 	}
@@ -196,6 +208,36 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("rocccload: %s\n", kr)
+
+		if *calibrate {
+			// Before/after pair: the search above measured the configured
+			// backends; repick every kernel from live trials, then search
+			// again on the auto-picked fleet. Same schedule seed, so the
+			// only variable between the two knees is the backend choice.
+			trials, err := fleet.Calibrate(calib.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			report.CalibTrials = trials
+			fmt.Printf("rocccload: calibrated %d kernel(s); re-running the knee search on the auto-picked fleet\n", trials)
+			kc, err := load.FindKnee(load.KneeConfig{
+				Step:      stepCfg,
+				StartRate: *startRate,
+				MaxRate:   *maxRate,
+				SLO:       *slo,
+				Bisects:   *bisects,
+				Log: func(format string, args ...any) {
+					fmt.Printf(format+"\n", args...)
+				},
+			})
+			if kc != nil {
+				report.KneeCalibrated = kc
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rocccload: calibrated: %s\n", kc)
+		}
 	}
 	elapsed := time.Since(begin)
 
@@ -225,6 +267,11 @@ func main() {
 			fmt.Printf("cigate-metric p99_at_knee_ms %.3f\n", p99AtKnee(report.Knee))
 			fmt.Printf("cigate-metric shed_monotonic %d\n", boolMetric(report.Knee.ShedMonotonic))
 			fmt.Printf("cigate-metric load_steps %d\n", len(report.Knee.Steps))
+		}
+		if report.KneeCalibrated != nil {
+			fmt.Printf("cigate-metric knee_rps_uncalibrated %.0f\n", report.Knee.KneeRPS)
+			fmt.Printf("cigate-metric knee_rps_calibrated %.0f\n", report.KneeCalibrated.KneeRPS)
+			fmt.Printf("cigate-metric calib_trials %d\n", report.CalibTrials)
 		}
 		fmt.Printf("rocccload: %d violations in %.2fs\n", len(violations), elapsed.Seconds())
 		if len(violations) > 0 {

@@ -1,0 +1,245 @@
+// Package calib is the backend calibration plane: it measures one
+// compiled kernel on every dp.Backend with a fixed, deterministic input
+// schedule and picks the fastest, so a serving stack can stop trusting
+// a hand-set KernelSpec.Backend and route traffic to whatever actually
+// wins on the machine it runs on.
+//
+// The paper's pitch is compile-time selection of the best datapath
+// implementation per kernel; the runtime equivalent is this trial
+// runner. The codegen benches showed the win is kernel-shaped — cone
+// vectorization takes mul_acc ~2x but does nothing for fig3 — so a
+// global -backend flag always leaves throughput on the table somewhere.
+//
+// Correctness is not calibration's problem by construction: every
+// backend is pinned bit-identical to the interpreter reference
+// (outputs, feedback latches, cycle counts, fault abort cycles) by the
+// dp backend differential matrix, and exp.FleetSweep's calibrated mode
+// re-proves the whole serving stack end to end. A trial only ever
+// changes how fast the same answer arrives.
+//
+// Measurement discipline:
+//
+//   - fixed input schedule: InputsFor derives every input array from a
+//     deterministic splitmix64 stream of strictly positive values, so a
+//     trial can never trip a divide-by-zero fault and two trials of the
+//     same kernel measure identical work;
+//   - warmup + timed reps: each backend runs Warmup iterations unmeasured
+//     (plan-cache compilation, branch predictors, pool-free allocations
+//     all land there), then Reps timed repetitions of Iters iterations;
+//     the per-backend figure is the minimum ns/iter across reps — the
+//     standard noise-robust estimator;
+//   - noise-floor guard: a challenger must beat the configured backend
+//     by more than NoiseFloor (relative) to win. Ties and within-noise
+//     wins keep the configured backend, so repeated recalibration does
+//     not flap pools on measurement jitter.
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"roccc/internal/dp"
+	"roccc/internal/hir"
+	"roccc/internal/netlist"
+)
+
+// Options bounds one calibration trial. The zero value selects the
+// defaults, so callers can pass Options{} and get sane behavior.
+type Options struct {
+	// Warmup iterations per backend, run unmeasured (default 2).
+	Warmup int
+	// Reps is the number of timed repetitions per backend; the minimum
+	// wins (default 3).
+	Reps int
+	// Iters is the iterations per timed repetition (default 4).
+	Iters int
+	// NoiseFloor is the relative margin a challenger must clear over the
+	// configured backend: picked != configured only when
+	// configured_ns > fastest_ns * (1 + NoiseFloor). Default 0.10.
+	// Negative disables the guard (any strict win switches).
+	NoiseFloor float64
+}
+
+// withDefaults resolves the zero value to the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Warmup <= 0 {
+		o.Warmup = 2
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if o.Iters <= 0 {
+		o.Iters = 4
+	}
+	if o.NoiseFloor == 0 {
+		o.NoiseFloor = 0.10
+	}
+	if o.NoiseFloor < 0 {
+		o.NoiseFloor = 0
+	}
+	return o
+}
+
+// Sample is one backend's measured cost for a kernel: the minimum
+// nanoseconds per full System.Run iteration across the trial's timed
+// repetitions. The metrics plane serializes samples verbatim, so
+// /metrics consumers see the raw numbers behind every pick.
+type Sample struct {
+	Backend   string  `json:"backend"`
+	NsPerIter float64 `json:"ns_per_iter"`
+}
+
+// Result is one kernel's calibration verdict.
+type Result struct {
+	Kernel string `json:"kernel"`
+	// Configured is the backend the trial defended (the spec's, or the
+	// previous pick on recalibration); Picked is the winner.
+	Configured string `json:"configured"`
+	Picked     string `json:"picked"`
+	// Switched reports Picked != Configured past the noise floor — the
+	// caller should rebuild pools onto PickedBackend.
+	Switched bool `json:"switched"`
+	// Samples carries every backend's ns/iter, interp first.
+	Samples []Sample `json:"samples"`
+
+	// PickedBackend is Picked as a typed value (not serialized; the
+	// string form travels the metrics plane).
+	PickedBackend dp.Backend `json:"-"`
+}
+
+// Feed is one input array of the trial's fixed schedule. Trials
+// pre-resolve the input map into a slice so the timed loop never
+// iterates a map (see RunIters).
+type Feed struct {
+	Name string
+	Vals []int64
+}
+
+// FeedsFor flattens an input map into name-sorted Feeds.
+func FeedsFor(inputs map[string][]int64) []Feed {
+	feeds := make([]Feed, 0, len(inputs))
+	for name, vals := range inputs {
+		feeds = append(feeds, Feed{Name: name, Vals: vals})
+	}
+	sort.Slice(feeds, func(i, j int) bool { return feeds[i].Name < feeds[j].Name })
+	return feeds
+}
+
+// InputsFor generates the kernel's fixed input schedule: every input
+// array filled from a deterministic splitmix64 stream of values in
+// [1, 96] — strictly positive, so divider kernels cannot fault
+// mid-trial and the measured work is identical across runs and
+// backends.
+func InputsFor(k *hir.Kernel, seed uint64) map[string][]int64 {
+	rng := seed
+	inputs := make(map[string][]int64, len(k.Reads))
+	for _, w := range k.Reads {
+		vals := make([]int64, w.Arr.Len())
+		for i := range vals {
+			vals[i] = int64(splitmix64(&rng)%96) + 1
+		}
+		inputs[w.Arr.Name] = vals
+	}
+	return inputs
+}
+
+// DefaultSeed is the trial input schedule's seed when the caller does
+// not bring inputs of its own.
+const DefaultSeed = 0x05ca11b
+
+// RunIters is the trial's timed region: iters full streaming runs —
+// Reset, input load, Run — on one System. It is the only code inside
+// the ns/iter measurement, so it must not allocate or format; the input
+// map is pre-flattened into feeds precisely so this loop ranges a slice
+// instead of hashing a map per iteration.
+//
+//roccc:hotpath
+func RunIters(sys *netlist.System, feeds []Feed, iters int) error {
+	for i := 0; i < iters; i++ {
+		sys.Reset()
+		for j := range feeds {
+			if err := sys.LoadInput(feeds[j].Name, feeds[j].Vals); err != nil {
+				return err
+			}
+		}
+		if _, err := sys.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trial measures the kernel on every execution backend and returns the
+// pick. cfg is the serving configuration (bus width, scalars) with
+// cfg.Backend naming the backend the trial defends — the incumbent a
+// challenger must beat past the noise floor. inputs may be nil, in
+// which case the fixed InputsFor schedule is used. A kernel that cannot
+// stream (no loop nest) fails with netlist.ErrCombinational inside the
+// error.
+func Trial(name string, k *hir.Kernel, d *dp.Datapath, cfg netlist.Config, inputs map[string][]int64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if inputs == nil {
+		inputs = InputsFor(k, DefaultSeed)
+	}
+	feeds := FeedsFor(inputs)
+	res := &Result{Kernel: name, Configured: cfg.Backend.String()}
+
+	backends := dp.Backends()
+	ns := make([]float64, len(backends))
+	for bi, b := range backends {
+		c := cfg
+		c.Backend = b
+		sys, err := netlist.NewSystem(k, d, c)
+		if err != nil {
+			return nil, fmt.Errorf("calib: %s on %v: %w", name, b, err)
+		}
+		if err := RunIters(sys, feeds, opt.Warmup); err != nil {
+			return nil, fmt.Errorf("calib: %s on %v (warmup): %w", name, b, err)
+		}
+		best := math.Inf(1)
+		for rep := 0; rep < opt.Reps; rep++ {
+			start := time.Now()
+			if err := RunIters(sys, feeds, opt.Iters); err != nil {
+				return nil, fmt.Errorf("calib: %s on %v: %w", name, b, err)
+			}
+			if got := float64(time.Since(start)) / float64(opt.Iters); got < best {
+				best = got
+			}
+		}
+		ns[bi] = best
+		res.Samples = append(res.Samples, Sample{Backend: b.String(), NsPerIter: best})
+	}
+
+	// Pick: fastest overall, but the configured backend keeps the seat
+	// unless a challenger clears the noise floor.
+	confNs := math.Inf(1)
+	fastest, fastestNs := cfg.Backend, math.Inf(1)
+	for bi, b := range backends {
+		if b == cfg.Backend {
+			confNs = ns[bi]
+		}
+		if ns[bi] < fastestNs {
+			fastest, fastestNs = b, ns[bi]
+		}
+	}
+	pick := cfg.Backend
+	if fastest != cfg.Backend && confNs > fastestNs*(1+opt.NoiseFloor) {
+		pick = fastest
+		res.Switched = true
+	}
+	res.Picked = pick.String()
+	res.PickedBackend = pick
+	return res, nil
+}
+
+// splitmix64 advances the state and returns the next 64 random bits
+// (Steele, Lea, Flood — deterministic, seedable, alloc-free).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,165 @@
+package calib
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"roccc/internal/bench"
+	"roccc/internal/core"
+	"roccc/internal/dp"
+	"roccc/internal/netlist"
+)
+
+// firSource is an array-streaming kernel for the input-schedule tests
+// (mul_acc is scalar-driven, so it exercises the empty-Reads path).
+const firSource = `
+int A[64];
+int B[64];
+void fir(void) {
+	int i;
+	for (i = 0; i < 62; i++) {
+		B[i] = A[i] + 2*A[i+1] + A[i+2];
+	}
+}
+`
+
+func compileFir(t *testing.T) (*core.Result, netlist.Config) {
+	t.Helper()
+	res, err := core.CompileSource(firSource, "fir", core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile fir: %v", err)
+	}
+	return res, netlist.Config{BusElems: 1}
+}
+
+func compileMulAcc(t *testing.T) (*core.Result, netlist.Config) {
+	t.Helper()
+	k := bench.MulAcc()
+	res, err := core.CompileSource(k.Source, k.Func, k.Options)
+	if err != nil {
+		t.Fatalf("compile mul_acc: %v", err)
+	}
+	return res, netlist.Config{BusElems: k.BusElems, Scalars: k.Scalars}
+}
+
+// A trial must measure every backend exactly once (interp first, the
+// dp.Backends order), report the configured backend verbatim, and pick
+// a backend it actually sampled.
+func TestTrialCoversEveryBackend(t *testing.T) {
+	res, cfg := compileFir(t)
+	r, err := Trial("fir", res.Kernel, res.Datapath, cfg, nil, Options{Warmup: 1, Reps: 1, Iters: 1})
+	if err != nil {
+		t.Fatalf("Trial: %v", err)
+	}
+	backends := dp.Backends()
+	if len(r.Samples) != len(backends) {
+		t.Fatalf("got %d samples, want %d", len(r.Samples), len(backends))
+	}
+	picked := false
+	for i, b := range backends {
+		if r.Samples[i].Backend != b.String() {
+			t.Errorf("sample %d is %q, want %q", i, r.Samples[i].Backend, b)
+		}
+		if r.Samples[i].NsPerIter <= 0 {
+			t.Errorf("sample %d ns/iter = %v, want > 0", i, r.Samples[i].NsPerIter)
+		}
+		if r.Picked == b.String() {
+			picked = true
+			if r.PickedBackend != b {
+				t.Errorf("PickedBackend = %v, Picked = %q", r.PickedBackend, r.Picked)
+			}
+		}
+	}
+	if !picked {
+		t.Errorf("picked %q is not a measured backend", r.Picked)
+	}
+	if r.Configured != cfg.Backend.String() {
+		t.Errorf("Configured = %q, want %q", r.Configured, cfg.Backend)
+	}
+	if r.Kernel != "fir" {
+		t.Errorf("Kernel = %q", r.Kernel)
+	}
+}
+
+// An absurdly high noise floor means no challenger can ever clear it:
+// the configured backend must keep the seat regardless of timings.
+func TestTrialNoiseFloorKeepsConfigured(t *testing.T) {
+	res, cfg := compileMulAcc(t)
+	for _, b := range dp.Backends() {
+		c := cfg
+		c.Backend = b
+		r, err := Trial("mul_acc", res.Kernel, res.Datapath, c, nil, Options{Warmup: 1, Reps: 1, Iters: 1, NoiseFloor: 1e9})
+		if err != nil {
+			t.Fatalf("Trial on %v: %v", b, err)
+		}
+		if r.Switched || r.Picked != b.String() || r.PickedBackend != b {
+			t.Errorf("configured %v: picked %q switched=%v, want the incumbent", b, r.Picked, r.Switched)
+		}
+	}
+}
+
+// A combinational kernel cannot stream, so a trial must fail with the
+// netlist sentinel rather than a panic or a silent zero result.
+func TestTrialCombinationalKernel(t *testing.T) {
+	k := bench.BitCorrelator()
+	res, err := core.CompileSource(k.Source, k.Func, k.Options)
+	if err != nil {
+		t.Fatalf("compile %s: %v", k.Name, err)
+	}
+	_, err = Trial(k.Name, res.Kernel, res.Datapath, netlist.Config{BusElems: k.BusElems}, nil, Options{})
+	if !errors.Is(err, netlist.ErrCombinational) {
+		t.Fatalf("Trial error = %v, want ErrCombinational", err)
+	}
+}
+
+// The fixed input schedule is the whole point: identical across calls
+// at the same seed, strictly positive so dividers cannot fault, and
+// sized to the kernel's input arrays.
+func TestInputsForDeterministicAndPositive(t *testing.T) {
+	res, _ := compileFir(t)
+	a := InputsFor(res.Kernel, DefaultSeed)
+	b := InputsFor(res.Kernel, DefaultSeed)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("fir has input arrays; schedule is empty")
+	}
+	for name, vals := range a {
+		for i, v := range vals {
+			if v < 1 || v > 96 {
+				t.Fatalf("%s[%d] = %d, want [1, 96]", name, i, v)
+			}
+		}
+	}
+	c := InputsFor(res.Kernel, DefaultSeed+1)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Feeds are name-sorted so the timed loop's load order is stable.
+func TestFeedsForSorted(t *testing.T) {
+	feeds := FeedsFor(map[string][]int64{"c": {3}, "a": {1}, "b": {2}})
+	want := []string{"a", "b", "c"}
+	if len(feeds) != len(want) {
+		t.Fatalf("got %d feeds, want %d", len(feeds), len(want))
+	}
+	for i, name := range want {
+		if feeds[i].Name != name {
+			t.Errorf("feed %d is %q, want %q", i, feeds[i].Name, name)
+		}
+	}
+}
+
+// The defaults must resolve once and be idempotent.
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Warmup != 2 || o.Reps != 3 || o.Iters != 4 || o.NoiseFloor != 0.10 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if got := (Options{NoiseFloor: -1}).withDefaults().NoiseFloor; got != 0 {
+		t.Fatalf("negative NoiseFloor resolved to %v, want 0 (guard disabled)", got)
+	}
+}

@@ -90,7 +90,7 @@ func TestFleetSweep(t *testing.T) {
 		b := b
 		t.Run(b.String(), func(t *testing.T) {
 			t.Parallel()
-			rows, err := FleetSweep(3, 3, b, "../../ci/corpus")
+			rows, err := FleetSweep(3, 3, b, "../../ci/corpus", false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,6 +123,26 @@ func TestFleetSweep(t *testing.T) {
 				t.Errorf("unexpected table:\n%s", out)
 			}
 		})
+	}
+}
+
+// TestFleetSweepCalibrated is the auto-pick differential gate: a fleet
+// whose kernels were calibrated (noise-floor guard off, so winners
+// actually take over the pools) must stay bit-identical to serial
+// interp across Table 1, the fault divider and the ci/corpus kernels.
+func TestFleetSweepCalibrated(t *testing.T) {
+	rows, err := FleetSweep(3, 3, dp.BackendInterp, "../../ci/corpus", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	for _, r := range rows {
+		if r.Skipped == "" {
+			streamed++
+		}
+	}
+	if streamed < 8 {
+		t.Fatalf("only %d kernels streamed through the calibrated fleet", streamed)
 	}
 }
 

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -9,6 +10,14 @@ import (
 	"roccc/internal/hir"
 	"roccc/internal/smartbuf"
 )
+
+// ErrCombinational is the sentinel inside every NewSystem failure for a
+// kernel without a loop nest (fully unrolled bit-level kernels, LUTs):
+// such kernels have no memory system to stream through and must be
+// simulated at the data-path level instead. Services and the
+// calibration plane match it with errors.Is to distinguish "cannot
+// stream, skip" from a real build failure.
+var ErrCombinational = errors.New("no loop nest")
 
 // System wires one compiled kernel into the Fig. 2 execution model:
 // input BRAMs feed smart buffers through read address generators, the
@@ -300,7 +309,7 @@ func NewSystem(k *hir.Kernel, d *dp.Datapath, cfg Config) (*System, error) {
 		cfg.BusElems = 1
 	}
 	if k.Nest.Depth() == 0 {
-		return nil, fmt.Errorf("netlist: kernel %s has no loop nest; simulate its data path directly", k.Name)
+		return nil, fmt.Errorf("netlist: kernel %s has %w; simulate its data path directly", k.Name, ErrCombinational)
 	}
 	plan, err := planFor(k, d, cfg.BusElems)
 	if err != nil {

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"roccc/internal/calib"
+	"roccc/internal/dp"
+	"roccc/internal/netlist"
+)
+
+// calibrate.go closes the measure→pick loop over the kernel registry:
+// calib.Trial measures one compiled kernel on every execution backend,
+// and the winner (past the noise floor) replaces the kernel's pool —
+// live, under traffic, using the same swap discipline as eviction.
+//
+// The swap is invisible to clients by construction. Streams capture a
+// pool pointer (getPool) before running; a swap stores the replacement
+// pool and closes the old one. In-flight jobs already past the old
+// pool's closed check finish there — bit-identical by the backend
+// differential contract — and anyone arriving afterwards observes
+// ErrPoolClosed, which RunStream already retries on the current pool.
+// Each pool stays individually balanced (Gets == Puts + Rejected), so
+// the metrics plane never sees a leak.
+//
+// Triggers, in increasing automation:
+//
+//   - CalibrateKernel: one kernel on demand (compiling it if cold);
+//   - Calibrate: every compiled kernel (rocccserve's hygiene tick);
+//   - SetAutoCalibrate: every kernel at first compile, inside ensure —
+//     the on-register trigger, deferred to first use because
+//     registration itself never compiles.
+
+// calibState is the server-wide calibration configuration and counters,
+// embedded in Server.
+type calibState struct {
+	mu  sync.Mutex
+	opt calib.Options
+	on  bool
+
+	calibrations atomic.Int64 // trials completed
+	swaps        atomic.Int64 // trials whose pick rebuilt a live pool
+}
+
+// SetAutoCalibrate arms (or disarms) calibration at first compile:
+// every kernel entering service measures all backends before its first
+// pool is built, so the pool is born on the winner. opt bounds each
+// trial; the zero Options selects the calib defaults.
+func (s *Server) SetAutoCalibrate(on bool, opt calib.Options) {
+	s.calib.mu.Lock()
+	s.calib.opt = opt
+	s.calib.on = on
+	s.calib.mu.Unlock()
+}
+
+// calibOptions snapshots the armed trial options (zero when never set).
+func (s *Server) calibOptions() (calib.Options, bool) {
+	s.calib.mu.Lock()
+	defer s.calib.mu.Unlock()
+	return s.calib.opt, s.calib.on
+}
+
+// Calibrations reports trials completed and live pool swaps performed.
+func (s *Server) Calibrations() (trials, swaps int64) {
+	return s.calib.calibrations.Load(), s.calib.swaps.Load()
+}
+
+// Calibrate measures every compiled, servable kernel on every backend
+// and swaps pools onto the winners, returning one Result per kernel
+// trialed (name order). Cold kernels are skipped — they calibrate at
+// first compile when auto-calibration is armed, or via CalibrateKernel.
+// The first trial failure aborts the pass; results already collected
+// are returned with it.
+func (s *Server) Calibrate(opt calib.Options) ([]*calib.Result, error) {
+	var out []*calib.Result
+	for _, e := range s.sortedEntries() {
+		e.mu.Lock()
+		if e.compiled == nil || e.cerr != nil {
+			e.mu.Unlock()
+			continue
+		}
+		res, err := e.calibrateLocked(opt)
+		e.mu.Unlock()
+		if err != nil {
+			return out, fmt.Errorf("serve: calibrate %q: %w", e.spec.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CalibrateKernel measures one kernel (compiling it on first use) and
+// swaps its pool onto the winner. A combinational kernel fails with
+// netlist.ErrCombinational inside the error, same as serving it would.
+func (s *Server) CalibrateKernel(name string, opt calib.Options) (*calib.Result, error) {
+	s.mu.Lock()
+	e, ok := s.kernels[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown kernel %q", name)
+	}
+	if err := e.ensure(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calibrateLocked(opt)
+}
+
+// effectiveConfig is the spec config with the calibration pick (if any)
+// overriding the backend — the configuration pools are built with.
+func (e *kernelEntry) effectiveConfig() netlist.Config {
+	cfg := e.spec.Config
+	if p := e.picked.Load(); p > 0 {
+		cfg.Backend = dp.Backend(p - 1)
+	}
+	return cfg
+}
+
+// calibrateLocked runs one trial and applies the pick. Caller holds
+// e.mu with e.compiled non-nil; the trial defends the current effective
+// backend (the spec's, or the previous pick), so recalibration under a
+// stable machine is a no-op past the noise floor.
+func (e *kernelEntry) calibrateLocked(opt calib.Options) (*calib.Result, error) {
+	res, err := calib.Trial(e.spec.Name, e.compiled.Kernel, e.compiled.Datapath, e.effectiveConfig(), nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	e.lastCalib.Store(res)
+	e.calibrations.Add(1)
+	e.srv.calib.calibrations.Add(1)
+	if !res.Switched {
+		return res, nil
+	}
+	if err := e.swapLocked(res.PickedBackend); err != nil {
+		// A backend that just completed trials must build; give the pick
+		// back rather than serving a half-applied state.
+		e.picked.Store(0)
+		return nil, fmt.Errorf("rebuild pool on %s: %w", res.Picked, err)
+	}
+	return res, nil
+}
+
+// swapLocked pins b as the kernel's backend pick and, when a pool is
+// live, rebuilds it eviction-style: build the replacement fully,
+// publish it, then close the old pool. In-flight streams finish on the
+// old pool — bit-identical by the differential contract — and late
+// arrivals retry onto the new one via ErrPoolClosed. On a cold entry
+// (first-compile auto-calibration, post-eviction) the pick alone
+// suffices: ensure builds the next pool on it. Caller holds e.mu.
+func (e *kernelEntry) swapLocked(b dp.Backend) error {
+	e.picked.Store(int32(b) + 1)
+	old := e.pool.Load()
+	if old == nil {
+		return nil
+	}
+	pool, err := netlist.NewSystemPool(e.compiled.Kernel, e.compiled.Datapath, e.effectiveConfig(), e.srv.workers)
+	if err != nil {
+		return err
+	}
+	pool.SetMaxIdle(e.idleCap())
+	if sys, gerr := pool.Get(); gerr == nil {
+		e.backend = sys.Backend()
+		e.cone = sys.HasClosedFormCone()
+		pool.Put(sys)
+	}
+	e.pool.Store(pool)
+	old.Close()
+	e.srv.calib.swaps.Add(1)
+	return nil
+}
+
+// autoCalibrateLocked is ensure's first-compile hook: when
+// auto-calibration is armed, trial the freshly compiled kernel so the
+// first pool is built on the winner. Failures are advisory — a
+// combinational kernel's trial fails exactly like its pool build will,
+// and the pool build's error is the one worth latching.
+func (e *kernelEntry) autoCalibrateLocked() {
+	opt, on := e.srv.calibOptions()
+	if !on {
+		return
+	}
+	if _, err := e.calibrateLocked(opt); err != nil && !errors.Is(err, netlist.ErrCombinational) {
+		// Non-combinational trial failures leave the spec backend in
+		// place; serving proceeds uncalibrated.
+		e.picked.Store(0)
+	}
+}

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roccc/internal/bench"
+	"roccc/internal/calib"
+	"roccc/internal/core"
+	"roccc/internal/dp"
+	"roccc/internal/netlist"
+)
+
+// calibFirSource is an array-streaming kernel the calibration tests
+// serve; small enough that a trial is fast even at 1 CPU.
+const calibFirSource = `
+int A[32];
+int B[32];
+void fir(void) {
+	int i;
+	for (i = 0; i < 30; i++) {
+		B[i] = A[i] + 2*A[i+1] + A[i+2];
+	}
+}
+`
+
+// calibCombSource has no loop nest: combinational, unservable.
+const calibCombSource = `
+void comb(int4 a, int4 b, int5* s) {
+	*s = a + b;
+}
+`
+
+var calibFastOpts = calib.Options{Warmup: 1, Reps: 1, Iters: 1}
+
+func calibFirSpec() KernelSpec {
+	return KernelSpec{
+		Name: "fir", Source: calibFirSource, Func: "fir",
+		Options: core.DefaultOptions(), Config: netlist.Config{BusElems: 1},
+	}
+}
+
+// calibFirRef computes the serial interp ground truth for one input.
+func calibFirRef(t *testing.T, inputs map[string][]int64) map[string][]int64 {
+	t.Helper()
+	res, err := core.CompileSource(calibFirSource, "fir", core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := netlist.NewSystem(res.Kernel, res.Datapath, netlist.Config{BusElems: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, vals := range inputs {
+		if err := sys.LoadInput(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.Output("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]int64{"B": out}
+}
+
+func calibFirInputs(seed int64) map[string][]int64 {
+	vals := make([]int64, 32)
+	for i := range vals {
+		vals[i] = (seed*31 + int64(i)*7) % 113
+	}
+	return map[string][]int64{"A": vals}
+}
+
+// CalibrateKernel must compile the kernel, measure every backend,
+// publish the result on the metrics plane, and keep serving answers
+// bit-identical to serial interp.
+func TestCalibrateKernel(t *testing.T) {
+	srv := NewServer(2)
+	if err := srv.Register(calibFirSpec()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.CalibrateKernel("fir", calibFastOpts)
+	if err != nil {
+		t.Fatalf("CalibrateKernel: %v", err)
+	}
+	if got, want := len(res.Samples), len(dp.Backends()); got != want {
+		t.Fatalf("%d samples, want %d", got, want)
+	}
+	if trials, _ := srv.Calibrations(); trials != 1 {
+		t.Fatalf("server counted %d trials, want 1", trials)
+	}
+
+	m := srv.Metrics()
+	if m.Calibrations != 1 {
+		t.Fatalf("metrics calibrations = %d, want 1", m.Calibrations)
+	}
+	var info *KernelInfo
+	for i := range m.Kernels {
+		if m.Kernels[i].Kernel == "fir" {
+			info = &m.Kernels[i]
+		}
+	}
+	if info == nil {
+		t.Fatal("fir missing from kernel infos")
+	}
+	if info.BackendConfigured != "interp" {
+		t.Errorf("backend_configured = %q, want interp", info.BackendConfigured)
+	}
+	if info.BackendActive == "" || !info.Resident {
+		t.Errorf("calibrated kernel not resident with an active backend: %+v", info)
+	}
+	if info.Calibration == nil || info.Calibrations != 1 {
+		t.Fatalf("calibration result missing from kernel info: %+v", info)
+	}
+	if info.Calibration.Picked != res.Picked {
+		t.Errorf("info picked %q, result picked %q", info.Calibration.Picked, res.Picked)
+	}
+	if res.Switched && m.CalibSwaps != 1 {
+		t.Errorf("switched pick recorded %d swaps, want 1", m.CalibSwaps)
+	}
+
+	// Whatever was picked, served answers stay bit-identical to interp.
+	inputs := calibFirInputs(3)
+	want := calibFirRef(t, inputs)
+	job := netlist.Job{Inputs: inputs}
+	if err := srv.RunStream("fir", &job); err != nil {
+		t.Fatalf("RunStream after calibration: %v", err)
+	}
+	for i, v := range want["B"] {
+		if job.Outputs["B"][i] != v {
+			t.Fatalf("B[%d] = %d on %s, interp says %d", i, job.Outputs["B"][i], res.Picked, v)
+		}
+	}
+}
+
+// Auto-calibration arms the first-compile trigger: the first request
+// for a kernel measures it before its first pool is built, and a
+// combinational kernel still refuses with the same diagnosis.
+func TestAutoCalibrateOnFirstCompile(t *testing.T) {
+	srv := NewServer(2)
+	srv.SetAutoCalibrate(true, calibFastOpts)
+	if err := srv.Register(calibFirSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(KernelSpec{
+		Name: "comb", Source: calibCombSource, Func: "comb",
+		Options: core.DefaultOptions(),
+		Config:  netlist.Config{BusElems: 1, Scalars: map[string]int64{"a": 1, "b": 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	inputs := calibFirInputs(9)
+	want := calibFirRef(t, inputs)
+	job := netlist.Job{Inputs: inputs}
+	if err := srv.RunStream("fir", &job); err != nil {
+		t.Fatalf("first stream: %v", err)
+	}
+	for i, v := range want["B"] {
+		if job.Outputs["B"][i] != v {
+			t.Fatalf("B[%d] = %d, interp says %d", i, job.Outputs["B"][i], v)
+		}
+	}
+	if trials, _ := srv.Calibrations(); trials == 0 {
+		t.Fatal("first compile did not trigger a calibration trial")
+	}
+
+	cjob := netlist.Job{}
+	if err := srv.RunStream("comb", &cjob); err == nil ||
+		!strings.Contains(err.Error(), "no loop nest") {
+		t.Fatalf("combinational kernel under auto-calibration returned %v, want a no-loop-nest refusal", err)
+	}
+}
+
+// Calibrate (the hygiene-tick pass) covers compiled kernels only; cold
+// ones wait for their first request.
+func TestCalibratePassSkipsCold(t *testing.T) {
+	srv := NewServer(2)
+	if err := srv.Register(calibFirSpec()); err != nil {
+		t.Fatal(err)
+	}
+	spec := calibFirSpec()
+	spec.Name = "fir2"
+	if err := srv.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	job := netlist.Job{Inputs: calibFirInputs(1)}
+	if err := srv.RunStream("fir", &job); err != nil {
+		t.Fatal(err)
+	}
+	results, err := srv.Calibrate(calibFastOpts)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if len(results) != 1 || results[0].Kernel != "fir" {
+		t.Fatalf("calibrated %d kernels %v, want just the compiled fir", len(results), results)
+	}
+}
+
+// On a machine with real parallelism, calibrating mul_acc — 1024
+// feedback iterations the closed-form cone collapses — must abandon
+// the interpreter for a cone-vectorized backend (threaded or cone; both
+// carry the closed form, and which one wins a timed trial is machine
+// noise). Skipped below 4 CPUs: a starved runner's timings are noise.
+func TestCalibrationPicksConeForMulAcc(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for stable trial timings, have %d", runtime.NumCPU())
+	}
+	srv := NewServer(0)
+	if err := srv.Register(SpecFor(bench.MulAcc())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.CalibrateKernel("mul_acc", calib.Options{Warmup: 2, Reps: 3, Iters: 8})
+	if err != nil {
+		t.Fatalf("CalibrateKernel: %v", err)
+	}
+	if res.Picked == dp.BackendInterp.String() {
+		t.Fatalf("calibration kept interp for mul_acc: %+v", res.Samples)
+	}
+	var info *KernelInfo
+	for _, ki := range srv.KernelInfos() {
+		if ki.Kernel == "mul_acc" {
+			k := ki
+			info = &k
+		}
+	}
+	if info == nil || !info.ClosedFormCone {
+		t.Fatalf("picked backend %q does not report a closed-form cone: %+v", res.Picked, info)
+	}
+	if info.BackendActive != res.Picked {
+		t.Errorf("backend_active = %q, pick was %q", info.BackendActive, res.Picked)
+	}
+}
+
+// The acceptance gate: backend swaps under live pipelined streams must
+// be invisible — zero client-visible errors, answers bit-identical to
+// interp throughout, and balanced pool admission after the drain. The
+// swap path exercised here (swapLocked) is exactly the one a switched
+// calibration pick takes.
+func TestBackendSwapUnderLiveStreams(t *testing.T) {
+	srv := NewServer(4)
+	if err := srv.Register(calibFirSpec()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// Fixed request set with precomputed interp ground truth.
+	const variants = 4
+	inputs := make([]map[string][]int64, variants)
+	want := make([]map[string][]int64, variants)
+	for i := range inputs {
+		inputs[i] = calibFirInputs(int64(i) + 11)
+		want[i] = calibFirRef(t, inputs[i])
+	}
+
+	conn, err := DialPipelined(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Warm the kernel so the entry is compiled before the first swap.
+	warm := []netlist.Job{{Inputs: inputs[0]}}
+	if err := conn.Run("fir", warm); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var streamsDone atomic.Int64
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; !stop.Load(); n++ {
+				v := (g + n) % variants
+				jobs := []netlist.Job{{Inputs: inputs[v]}, {Inputs: inputs[(v+1)%variants]}}
+				if err := conn.Run("fir", jobs); err != nil {
+					errc <- err
+					return
+				}
+				for j := range jobs {
+					w := want[(v+j)%variants]["B"]
+					for i, x := range w {
+						if jobs[j].Outputs["B"][i] != x {
+							t.Errorf("stream output B[%d] = %d mid-swap, interp says %d", i, jobs[j].Outputs["B"][i], x)
+							return
+						}
+					}
+				}
+				streamsDone.Add(int64(len(jobs)))
+			}
+		}(g)
+	}
+
+	// Cycle the backend under load: every transition is a full pool swap
+	// on the live serving path.
+	srv.mu.Lock()
+	e := srv.kernels["fir"]
+	srv.mu.Unlock()
+	cycle := []dp.Backend{dp.BackendThreaded, dp.BackendCone, dp.BackendInterp, dp.BackendThreaded}
+	for _, b := range cycle {
+		time.Sleep(10 * time.Millisecond)
+		e.mu.Lock()
+		err := e.swapLocked(b)
+		e.mu.Unlock()
+		if err != nil {
+			t.Fatalf("swap to %v: %v", b, err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("client-visible error during backend swaps: %v", err)
+	}
+	if streamsDone.Load() == 0 {
+		t.Fatal("no streams completed while swapping")
+	}
+	if _, swaps := srv.Calibrations(); swaps != int64(len(cycle)) {
+		t.Errorf("recorded %d swaps, want %d", swaps, len(cycle))
+	}
+	if !srv.WaitIdle(5 * time.Second) {
+		t.Fatal("server did not drain")
+	}
+	st, ok := srv.Stats()["fir"]
+	if !ok {
+		t.Fatal("no pool stats for fir")
+	}
+	if st.Gets != st.Puts+st.Rejected {
+		t.Fatalf("pool unbalanced after swaps: %+v", st)
+	}
+	if _, faults := srv.Served(); faults != 0 {
+		t.Fatalf("%d faults served during swaps", faults)
+	}
+}

@@ -707,11 +707,11 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		if !info.Compiled || !info.Resident {
 			t.Errorf("%s: compiled=%v resident=%v after serving", info.Kernel, info.Compiled, info.Resident)
 		}
-		if info.ConfigBackend != p.cfg.Backend.String() {
-			t.Errorf("%s: config backend %q, want %q", info.Kernel, info.ConfigBackend, p.cfg.Backend.String())
+		if info.BackendConfigured != p.cfg.Backend.String() {
+			t.Errorf("%s: configured backend %q, want %q", info.Kernel, info.BackendConfigured, p.cfg.Backend.String())
 		}
-		if want := sys.Backend().String(); info.Backend != want {
-			t.Errorf("%s: backend %q, independent System says %q", info.Kernel, info.Backend, want)
+		if want := sys.Backend().String(); info.BackendActive != want {
+			t.Errorf("%s: active backend %q, independent System says %q", info.Kernel, info.BackendActive, want)
 		}
 		if want := sys.HasClosedFormCone(); info.ClosedFormCone != want {
 			t.Errorf("%s: closed_form_cone %v, independent System says %v", info.Kernel, info.ClosedFormCone, want)
